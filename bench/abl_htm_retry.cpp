@@ -1,0 +1,90 @@
+// Ablation A2 — HTM retry policy (§VII-A's closing suggestion).
+//
+// The paper's HTM runs fell back to serial after 2 failures and reported
+// 13–18% serial execution on PBZip2, concluding that per-transaction retry
+// tuning "would offer even better performance". We sweep the retry budget
+// on a contended queue-metadata kernel and report throughput and the serial
+// fraction — the trade the paper describes.
+//
+// Benchmark name format: abl_htm_retry/retries:<R>/threads:<N>
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "sync/bounded_queue.hpp"
+#include "util/barrier.hpp"
+#include "util/timing.hpp"
+
+namespace {
+
+using namespace tle;
+using namespace tle::bench;
+
+void run_case(benchmark::State& state, int retries, int threads) {
+  set_exec_mode(ExecMode::Htm);
+  config().htm_max_retries = retries;
+  const double secs = env_double("MICRO_SECS", 0.3);
+
+  for (auto _ : state) {
+    bounded_queue<long> queue(128);
+    reset_stats();
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> ops{0};
+    SpinBarrier gate(static_cast<std::size_t>(threads) + 1);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        gate.arrive_and_wait();
+        std::uint64_t local = 0;
+        long v = t;
+        while (!stop.load(std::memory_order_relaxed)) {
+          // Alternate try_push/try_pop: pure queue-metadata transactions,
+          // the PBZip2 critical-section shape.
+          if (local & 1)
+            benchmark::DoNotOptimize(queue.try_pop());
+          else
+            benchmark::DoNotOptimize(queue.try_push(v++));
+          ++local;
+        }
+        ops.fetch_add(local);
+      });
+    }
+    Stopwatch sw;
+    gate.arrive_and_wait();
+    while (sw.seconds() < secs) std::this_thread::yield();
+    stop.store(true);
+    for (auto& w : workers) w.join();
+    state.SetIterationTime(sw.seconds());
+    state.counters["ops_per_sec"] = static_cast<double>(ops.load()) / sw.seconds();
+  }
+  attach_tm_counters(state, aggregate_stats());
+  config().htm_max_retries = 2;
+  set_exec_mode(ExecMode::Lock);
+}
+
+void register_all() {
+  for (int retries : {1, 2, 4, 8, 16}) {
+    for (int threads : {2, 4, 8}) {
+      const std::string name = "abl_htm_retry/retries:" +
+                               std::to_string(retries) +
+                               "/threads:" + std::to_string(threads);
+      benchmark::RegisterBenchmark(name.c_str(),
+                                   [retries, threads](benchmark::State& st) {
+                                     run_case(st, retries, threads);
+                                   })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1)
+          ->UseManualTime();
+    }
+  }
+}
+
+const int dummy = (register_all(), 0);
+
+}  // namespace
+
+BENCHMARK_MAIN();

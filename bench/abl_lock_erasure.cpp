@@ -1,0 +1,106 @@
+// Ablation A3 — lock erasure granularity (§IV-A).
+//
+// The paper's example: a queue under lock L1 and a stack under lock L2 are
+// disjoint, but TMTS-based elision erases both locks into one transaction
+// domain, so quiescence couples them ("the granularity of quiescence
+// becomes unnecessarily coarse"). We run two disjoint list structures under
+// two elidable locks and compare the single erased domain against per-lock
+// quiescence domains (multi_domain). The q_waits counter shows the
+// cross-structure coupling disappear.
+//
+// Benchmark name format: abl_lock_erasure/<domains>/threads:<N>
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "dstruct/tm_list_set.hpp"
+#include "util/barrier.hpp"
+#include "util/rng.hpp"
+#include "util/timing.hpp"
+
+namespace {
+
+using namespace tle;
+using namespace tle::bench;
+
+void run_case(benchmark::State& state, bool multi_domain, int threads) {
+  set_exec_mode(ExecMode::StmCondVar);
+  config().multi_domain = multi_domain;
+  const double secs = env_double("MICRO_SECS", 0.3);
+
+  for (auto _ : state) {
+    // Two disjoint structures; under multi_domain their critical sections
+    // quiesce independently. Domains are keyed by the mutexes.
+    elidable_mutex queue_lock(1), stack_lock(2);
+    TmListSet queue_set, stack_set;
+    for (long k = 0; k < 64; k += 2) {
+      queue_set.insert(k);
+      stack_set.insert(k);
+    }
+    reset_stats();
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> ops{0};
+    SpinBarrier gate(static_cast<std::size_t>(threads) + 1);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        // Even threads use the queue, odd threads the stack: disjoint.
+        TmListSet& mine = (t % 2 == 0) ? queue_set : stack_set;
+        elidable_mutex& lock = (t % 2 == 0) ? queue_lock : stack_lock;
+        Xoshiro256 rng(77 + static_cast<unsigned>(t));
+        gate.arrive_and_wait();
+        std::uint64_t local = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const long key = static_cast<long>(rng.below(64));
+          // Route through critical() so the mutex's domain applies.
+          critical(lock, [&](TxContext&) {
+            if (key & 1)
+              benchmark::DoNotOptimize(mine.insert(key));
+            else
+              benchmark::DoNotOptimize(mine.remove(key));
+          });
+          ++local;
+        }
+        ops.fetch_add(local);
+      });
+    }
+    Stopwatch sw;
+    gate.arrive_and_wait();
+    while (sw.seconds() < secs) std::this_thread::yield();
+    stop.store(true);
+    for (auto& w : workers) w.join();
+    state.SetIterationTime(sw.seconds());
+    state.counters["ops_per_sec"] = static_cast<double>(ops.load()) / sw.seconds();
+  }
+  attach_tm_counters(state, aggregate_stats());
+  config().multi_domain = false;
+  set_exec_mode(ExecMode::Lock);
+}
+
+void register_all() {
+  for (bool multi : {false, true}) {
+    for (int threads : {2, 4, 8}) {
+      const std::string name = std::string("abl_lock_erasure/") +
+                               (multi ? "per-lock-domains" : "erased-single") +
+                               "/threads:" + std::to_string(threads);
+      benchmark::RegisterBenchmark(name.c_str(),
+                                   [multi, threads](benchmark::State& st) {
+                                     run_case(st, multi, threads);
+                                   })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1)
+          ->UseManualTime();
+    }
+  }
+}
+
+const int dummy = (register_all(), 0);
+
+}  // namespace
+
+BENCHMARK_MAIN();

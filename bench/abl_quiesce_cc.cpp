@@ -1,0 +1,104 @@
+// Ablation A1 — quiescence as implicit congestion control (§VII-C).
+//
+// The paper observed that on the high-contention list, *some* quiescence
+// outperforms none: a quiescing thread backs off, giving long traversals a
+// chance to commit. We sweep the quiescence regime on the list benchmark at
+// fixed high contention and report both throughput and the abort rate — the
+// abort-rate column is the congestion-control mechanism made visible.
+//
+// Benchmark name format: abl_quiesce_cc/<regime>/threads:<N>
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "dstruct/tm_list_set.hpp"
+#include "util/barrier.hpp"
+#include "util/rng.hpp"
+#include "util/timing.hpp"
+
+namespace {
+
+using namespace tle;
+using namespace tle::bench;
+
+struct Regime {
+  const char* name;
+  QuiescePolicy policy;
+  bool honor;
+};
+
+const Regime kRegimes[] = {
+    {"Always", QuiescePolicy::Always, false},
+    {"WriterOnly", QuiescePolicy::WriterOnly, false},
+    {"Selective", QuiescePolicy::Always, true},
+    {"Never", QuiescePolicy::Never, false},
+};
+
+void run_case(benchmark::State& state, const Regime& regime, int threads) {
+  set_exec_mode(ExecMode::StmCondVar);
+  config().quiesce = regime.policy;
+  config().honor_noquiesce = regime.honor;
+  const double secs = env_double("MICRO_SECS", 0.3);
+
+  for (auto _ : state) {
+    TmListSet set;
+    for (long k = 0; k < 64; k += 2) set.insert(k);
+    reset_stats();
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> ops{0};
+    SpinBarrier gate(static_cast<std::size_t>(threads) + 1);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        Xoshiro256 rng(31 + static_cast<unsigned>(t));
+        gate.arrive_and_wait();
+        std::uint64_t local = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const long key = static_cast<long>(rng.below(64));
+          if (rng.chance(0.5))
+            benchmark::DoNotOptimize(set.insert(key));
+          else
+            benchmark::DoNotOptimize(set.remove(key));
+          ++local;
+        }
+        ops.fetch_add(local);
+      });
+    }
+    Stopwatch sw;
+    gate.arrive_and_wait();
+    while (sw.seconds() < secs) std::this_thread::yield();
+    stop.store(true);
+    for (auto& w : workers) w.join();
+    state.SetIterationTime(sw.seconds());
+    state.counters["ops_per_sec"] = static_cast<double>(ops.load()) / sw.seconds();
+  }
+  attach_tm_counters(state, aggregate_stats());
+  set_exec_mode(ExecMode::Lock);
+}
+
+void register_all() {
+  for (const Regime& r : kRegimes) {
+    for (int threads : {2, 4, 8}) {
+      const std::string name = std::string("abl_quiesce_cc/") + r.name +
+                               "/threads:" + std::to_string(threads);
+      const Regime reg = r;
+      benchmark::RegisterBenchmark(name.c_str(),
+                                   [reg, threads](benchmark::State& st) {
+                                     run_case(st, reg, threads);
+                                   })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1)
+          ->UseManualTime();
+    }
+  }
+}
+
+const int dummy = (register_all(), 0);
+
+}  // namespace
+
+BENCHMARK_MAIN();

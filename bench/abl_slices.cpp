@@ -1,0 +1,65 @@
+// Ablation A5 — slices versus wavefront parallelism (x265's parallelism
+// menu from paper §III). Slices remove cross-row dependencies (more
+// parallelism, fewer waits) but forfeit boundary prediction (more bits,
+// lower PSNR for the same qp). The counters expose both sides of the trade.
+//
+// Benchmark name format: abl_slices/slices:<S>/threads:<N>
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_support.hpp"
+#include "videnc/encoder.hpp"
+
+namespace {
+
+using namespace tle;
+using namespace tle::bench;
+
+void run_case(benchmark::State& state, int slices, int threads) {
+  set_exec_mode(ExecMode::StmCondVar);
+  videnc::EncoderConfig cfg;
+  cfg.width = 160;
+  cfg.height = 96;  // 6 CTU rows: slices 1/2/3 partition meaningfully
+  cfg.frames = static_cast<int>(env_long("ABL_SLICE_FRAMES", 6));
+  cfg.worker_threads = threads;
+  cfg.frame_threads = 2;
+  cfg.search_range = 6;
+  cfg.slices = slices;
+
+  videnc::EncodeStats stats{};
+  for (auto _ : state) {
+    reset_stats();
+    const auto r = videnc::encode(cfg);
+    stats = r.stats;
+    benchmark::DoNotOptimize(stats.bits);
+  }
+  attach_tm_counters(state, aggregate_stats());
+  state.counters["bits"] = static_cast<double>(stats.bits);
+  state.counters["psnr_db"] = stats.psnr;
+  state.counters["cv_waits"] =
+      static_cast<double>(aggregate_stats().condvar_waits);
+  set_exec_mode(ExecMode::Lock);
+}
+
+void register_all() {
+  for (int slices : {1, 2, 3}) {
+    for (int threads : {2, 4, 8}) {
+      const std::string name = "abl_slices/slices:" + std::to_string(slices) +
+                               "/threads:" + std::to_string(threads);
+      benchmark::RegisterBenchmark(name.c_str(),
+                                   [slices, threads](benchmark::State& st) {
+                                     run_case(st, slices, threads);
+                                   })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1)
+          ->UseRealTime();
+    }
+  }
+}
+
+const int dummy = (register_all(), 0);
+
+}  // namespace
+
+BENCHMARK_MAIN();

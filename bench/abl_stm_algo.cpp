@@ -1,0 +1,102 @@
+// Ablation A4 — STM method group: ml_wt (the paper's algorithm) versus
+// gl_wt (GCC's global-versioned-lock group). gl_wt has near-zero read
+// instrumentation but serializes all writers, so it wins on read-dominated
+// low-thread workloads and collapses under write concurrency — the
+// trade-off that motivates libitm's method-group dispatch.
+//
+// Benchmark name format: abl_stm_algo/<algo>/<mix>/threads:<N>
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "dstruct/tm_hash_set.hpp"
+#include "util/barrier.hpp"
+#include "util/rng.hpp"
+#include "util/timing.hpp"
+
+namespace {
+
+using namespace tle;
+using namespace tle::bench;
+
+void run_case(benchmark::State& state, StmAlgo algo, int lookup_pct,
+              int threads) {
+  set_exec_mode(ExecMode::StmCondVar);
+  config().stm_algo = algo;
+  const double secs = env_double("MICRO_SECS", 0.3);
+
+  for (auto _ : state) {
+    TmHashSet set;
+    for (long k = 0; k < 256; k += 2) set.insert(k);
+    reset_stats();
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> ops{0};
+    SpinBarrier gate(static_cast<std::size_t>(threads) + 1);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        Xoshiro256 rng(41 + static_cast<unsigned>(t));
+        gate.arrive_and_wait();
+        std::uint64_t local = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const long key = static_cast<long>(rng.below(256));
+          const int dice = static_cast<int>(rng.below(100));
+          if (dice < lookup_pct)
+            benchmark::DoNotOptimize(set.contains(key));
+          else if (dice < lookup_pct + (100 - lookup_pct) / 2)
+            benchmark::DoNotOptimize(set.insert(key));
+          else
+            benchmark::DoNotOptimize(set.remove(key));
+          ++local;
+        }
+        ops.fetch_add(local);
+      });
+    }
+    Stopwatch sw;
+    gate.arrive_and_wait();
+    while (sw.seconds() < secs) std::this_thread::yield();
+    stop.store(true);
+    for (auto& w : workers) w.join();
+    state.SetIterationTime(sw.seconds());
+    state.counters["ops_per_sec"] = static_cast<double>(ops.load()) / sw.seconds();
+  }
+  attach_tm_counters(state, aggregate_stats());
+  config().stm_algo = StmAlgo::MlWt;
+  set_exec_mode(ExecMode::Lock);
+}
+
+void register_all() {
+  struct Mix {
+    const char* name;
+    int lookup_pct;
+  };
+  const Mix mixes[] = {{"ins50rem50", 0}, {"lookup90", 90}};
+  for (StmAlgo algo : {StmAlgo::MlWt, StmAlgo::GlWt}) {
+    for (const Mix& mix : mixes) {
+      for (int threads : {1, 2, 4, 8}) {
+        const std::string name = std::string("abl_stm_algo/") +
+                                 to_string(algo) + "/" + mix.name +
+                                 "/threads:" + std::to_string(threads);
+        const int lookup_pct = mix.lookup_pct;
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [algo, lookup_pct, threads](benchmark::State& st) {
+              run_case(st, algo, lookup_pct, threads);
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1)
+            ->UseManualTime();
+      }
+    }
+  }
+}
+
+const int dummy = (register_all(), 0);
+
+}  // namespace
+
+BENCHMARK_MAIN();

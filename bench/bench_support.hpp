@@ -1,0 +1,47 @@
+// Shared helpers for the figure-reproduction benchmarks.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "tm/tm.hpp"
+#include "util/env.hpp"
+
+namespace tle::bench {
+
+/// Attach the paper's evaluation counters (Figure 4 / §VII-A style) to a
+/// benchmark state from a stats snapshot delta.
+inline void attach_tm_counters(benchmark::State& state,
+                               const StatsSnapshot& s) {
+  state.counters["txns"] =
+      static_cast<double>(s.commits + s.serial_commits);
+  state.counters["abort_pct"] = 100.0 * s.abort_rate();
+  state.counters["serial_pct"] = 100.0 * s.serial_fraction();
+  state.counters["conflicts"] =
+      static_cast<double>(s.aborts[static_cast<int>(AbortCause::Conflict)] +
+                          s.aborts[static_cast<int>(AbortCause::Validation)]);
+  state.counters["capacity"] =
+      static_cast<double>(s.aborts[static_cast<int>(AbortCause::Capacity)]);
+  state.counters["spurious"] =
+      static_cast<double>(s.aborts[static_cast<int>(AbortCause::Spurious)]);
+  state.counters["quiesce"] = static_cast<double>(s.quiesce_calls);
+  state.counters["q_waits"] = static_cast<double>(s.quiesce_waits);
+}
+
+/// The five paper configurations, in presentation order.
+inline const ExecMode kPaperModes[] = {
+    ExecMode::Lock, ExecMode::StmSpin, ExecMode::StmCondVar,
+    ExecMode::StmCondVarNoQ, ExecMode::Htm};
+
+/// Short mode tags for benchmark names.
+inline const char* mode_tag(ExecMode m) {
+  switch (m) {
+    case ExecMode::Lock: return "pthread";
+    case ExecMode::StmSpin: return "STM+Spin";
+    case ExecMode::StmCondVar: return "STM+CondVar";
+    case ExecMode::StmCondVarNoQ: return "STM+CondVar+NoQ";
+    case ExecMode::Htm: return "HTM+CondVar";
+  }
+  return "?";
+}
+
+}  // namespace tle::bench

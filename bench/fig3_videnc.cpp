@@ -1,0 +1,101 @@
+// Figure 3 reproduction: x265 (videnc) speedup relative to the 1-thread
+// pthread execution, for three input sizes (the paper used 38 MB / 735 MB /
+// 3810 MB clips), worker threads 1..8, under the five algorithms.
+//
+// Sizes here are synthetic presets scaled by VIDENC_SCALE (default 1).
+// The speedup_vs_pthread1 counter is the paper's y-axis.
+//
+// Benchmark name format: fig3/<size>/threads:<N>/<mode>
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+#include "bench_support.hpp"
+#include "videnc/encoder.hpp"
+
+namespace {
+
+using namespace tle;
+using namespace tle::bench;
+
+struct SizePreset {
+  const char* name;
+  int width, height, frames;
+};
+
+const SizePreset kSizes[] = {
+    {"small", 96, 64, 6},
+    {"medium", 160, 96, 8},
+    {"large", 240, 144, 10},
+};
+
+videnc::EncoderConfig make_cfg(const SizePreset& s, int threads) {
+  const int scale = static_cast<int>(env_long("VIDENC_SCALE", 1));
+  videnc::EncoderConfig cfg;
+  cfg.width = s.width;
+  cfg.height = s.height;
+  cfg.frames = s.frames * scale;
+  cfg.worker_threads = threads;
+  cfg.frame_threads = 3;  // the paper's x265 default
+  cfg.search_range = 6;
+  return cfg;
+}
+
+/// 1-thread pthread baseline seconds per size (the Figure-3 denominator).
+double baseline_seconds(const SizePreset& s) {
+  static std::map<std::string, double> cache;
+  auto it = cache.find(s.name);
+  if (it == cache.end()) {
+    set_exec_mode(ExecMode::Lock);
+    videnc::EncoderConfig cfg = make_cfg(s, 1);
+    cfg.frame_threads = 1;
+    const auto r = videnc::encode(cfg);
+    it = cache.emplace(s.name, r.stats.seconds).first;
+  }
+  return it->second;
+}
+
+void run_case(benchmark::State& state, const SizePreset& size, int threads,
+              ExecMode mode) {
+  const double base = baseline_seconds(size);
+  set_exec_mode(mode);
+  config().htm_spurious_abort_rate = env_double("HTM_SPURIOUS", 0.40);
+  const videnc::EncoderConfig cfg = make_cfg(size, threads);
+  double secs = 0;
+  for (auto _ : state) {
+    reset_stats();
+    const auto r = videnc::encode(cfg);
+    secs = r.stats.seconds;
+    benchmark::DoNotOptimize(r.stats.bits);
+  }
+  attach_tm_counters(state, aggregate_stats());
+  state.counters["speedup_vs_pthread1"] = secs > 0 ? base / secs : 0;
+  config().htm_spurious_abort_rate = 0.0;
+  set_exec_mode(ExecMode::Lock);
+}
+
+void register_all() {
+  for (const SizePreset& size : kSizes) {
+    for (int threads : {1, 2, 4, 8}) {
+      for (ExecMode mode : kPaperModes) {
+        const std::string name = std::string("fig3/") + size.name +
+                                 "/threads:" + std::to_string(threads) + "/" +
+                                 mode_tag(mode);
+        benchmark::RegisterBenchmark(
+            name.c_str(), [size, threads, mode](benchmark::State& st) {
+              run_case(st, size, threads, mode);
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1)
+            ->UseRealTime();
+      }
+    }
+  }
+}
+
+const int dummy = (register_all(), 0);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Figure 4 reproduction: x265 (videnc) abort behaviour versus worker
+// threads, for the STM and (simulated) HTM configurations. The paper plots
+// abort rates to explain why tuned fallback policies would help; we report
+// aborts-per-transaction, the abort-cause breakdown, and the serial
+// fallback fraction.
+//
+// Benchmark name format: fig4/<mode>/threads:<N>
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_support.hpp"
+#include "videnc/encoder.hpp"
+
+namespace {
+
+using namespace tle;
+using namespace tle::bench;
+
+void run_case(benchmark::State& state, ExecMode mode, int threads) {
+  set_exec_mode(mode);
+  config().htm_spurious_abort_rate = env_double("HTM_SPURIOUS", 0.40);
+  videnc::EncoderConfig cfg;
+  cfg.width = static_cast<int>(env_long("FIG4_W", 128));
+  cfg.height = static_cast<int>(env_long("FIG4_H", 80));
+  cfg.frames = static_cast<int>(env_long("FIG4_FRAMES", 6));
+  cfg.worker_threads = threads;
+  cfg.frame_threads = 3;
+  cfg.search_range = 6;
+
+  StatsSnapshot s;
+  for (auto _ : state) {
+    reset_stats();
+    const auto r = videnc::encode(cfg);
+    benchmark::DoNotOptimize(r.stats.bits);
+    s = aggregate_stats();
+  }
+  attach_tm_counters(state, s);
+  state.counters["aborts_per_ktxn"] =
+      s.txn_starts ? 1000.0 * static_cast<double>(s.aborts_total()) /
+                         static_cast<double>(s.txn_starts)
+                   : 0.0;
+  config().htm_spurious_abort_rate = 0.0;
+  set_exec_mode(ExecMode::Lock);
+}
+
+void register_all() {
+  const ExecMode modes[] = {ExecMode::StmCondVar, ExecMode::StmCondVarNoQ,
+                            ExecMode::Htm};
+  for (ExecMode mode : modes) {
+    for (int threads : {1, 2, 4, 8}) {
+      const std::string name = std::string("fig4/") + mode_tag(mode) +
+                               "/threads:" + std::to_string(threads);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [mode, threads](benchmark::State& st) { run_case(st, mode, threads); })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1)
+          ->UseRealTime();
+    }
+  }
+}
+
+const int dummy = (register_all(), 0);
+
+}  // namespace
+
+BENCHMARK_MAIN();

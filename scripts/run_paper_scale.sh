@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Run the benchmark suite at (approximately) the paper's workload scale.
+# Expect multi-hour runtimes on laptop hardware; the defaults in
+# bench_output.txt are the CI-scale equivalents of the same sweeps.
+set -euo pipefail
+
+BUILD=${1:-build}
+
+export PIPEZ_MB=${PIPEZ_MB:-650}       # the paper's 650 MB test file
+export VIDENC_SCALE=${VIDENC_SCALE:-8} # longer clips for Figure 3
+export MICRO_SECS=${MICRO_SECS:-10}    # the paper's 10-second trials
+export HTM_SPURIOUS=${HTM_SPURIOUS:-0.40}
+
+REPS=${REPS:-5}  # the paper averages 5 trials (3 for Figure 5)
+
+for b in "$BUILD"/bench/*; do
+  echo "== $b (repetitions=$REPS)"
+  "$b" --benchmark_repetitions="$REPS" --benchmark_report_aggregates_only=true
+done

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Address+UB sanitizer spot-checks of the most memory-sensitive suites:
+# the TM core (longjmp rollback, allocation logs), the privatization
+# stress tests (quiesce-before-free), and the data structures (node
+# reclamation under concurrency).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CXX=${CXX:-g++}
+FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer -O1 -g -std=c++20 -Isrc -Itests"
+TM_SRCS="src/tm/engine.cpp src/tm/registry.cpp src/tm/runtime.cpp src/tm/audit.cpp src/tm/trace.cpp"
+LIBS="-lgtest -lgtest_main -pthread"
+OUT=$(mktemp -d)
+
+for test in tm_core_test tm_privatization_test dstruct_test tm_engine_edge_test; do
+  extra=""
+  [ "$test" = tm_privatization_test ] && extra="src/sync/tx_condvar.cpp"
+  echo "== $test (ASan+UBSan)"
+  # shellcheck disable=SC2086
+  $CXX $FLAGS "tests/$test.cpp" $TM_SRCS $extra $LIBS -o "$OUT/$test"
+  "$OUT/$test"
+done
+echo "all sanitizer runs clean"

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Summarize bench_output.txt into the compact per-figure tables used in
+EXPERIMENTS.md. Pure-stdlib; reads the google-benchmark console format."""
+import re
+import sys
+from collections import defaultdict
+
+
+def parse(path):
+    rows = []
+    pat = re.compile(r"^(\S+)\s+(\d+(?:\.\d+)?) ms\s+(\d+(?:\.\d+)?) ms\s+\d+(.*)$")
+    for line in open(path):
+        m = pat.match(line.strip())
+        if not m:
+            continue
+        name, real, _cpu, rest = m.groups()
+        counters = {}
+        for key, val in re.findall(r"(\w+)=([-\d.kMGu]+)", rest):
+            mult = 1.0
+            if val.endswith("k"):
+                mult, val = 1e3, val[:-1]
+            elif val.endswith("M"):
+                mult, val = 1e6, val[:-1]
+            elif val.endswith("G"):
+                mult, val = 1e9, val[:-1]
+            elif val.endswith("u"):
+                mult, val = 1e-6, val[:-1]
+            try:
+                counters[key] = float(val) * mult
+            except ValueError:
+                pass
+        rows.append((name, float(real), counters))
+    return rows
+
+
+def fig(rows, prefix):
+    return [r for r in rows if r[0].startswith(prefix)]
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    rows = parse(path)
+
+    print("== fig2: HTM serial-fallback band (paper: 13-18%) ==")
+    vals = [c.get("serial_pct", 0) for n, _, c in fig(rows, "fig2/") if "HTM" in n]
+    if vals:
+        print(f"  min={min(vals):.1f}%  mean={sum(vals)/len(vals):.1f}%  max={max(vals):.1f}%  (n={len(vals)})")
+
+    print("== fig2: transaction counts by block size (Compress, 4 threads) ==")
+    for n, _, c in fig(rows, "fig2/Compress"):
+        if "/threads:4/" in n and "STM+CondVar/" in n:
+            print(f"  {n.split('/')[2]}: txns={c.get('txns', 0):.0f} abort_pct={c.get('abort_pct', 0):.3f}")
+
+    print("== fig3: speedup_vs_pthread1 range per mode ==")
+    by_mode = defaultdict(list)
+    for n, _, c in fig(rows, "fig3/"):
+        by_mode[n.split("/")[3]].append(c.get("speedup_vs_pthread1", 0))
+    for mode, vs in sorted(by_mode.items()):
+        print(f"  {mode:24s} min={min(vs):.2f} max={max(vs):.2f}")
+
+    print("== fig4: aborts per 1000 txns vs threads ==")
+    for n, _, c in fig(rows, "fig4/"):
+        print(f"  {n}: aborts_per_ktxn={c.get('aborts_per_ktxn', 0):.1f} serial_pct={c.get('serial_pct', 0):.1f}")
+
+    print("== fig5: regime throughput geometric means (ops/s) ==")
+    geo = defaultdict(lambda: [0.0, 0])
+    for n, _, c in fig(rows, "fig5/"):
+        if "fig5x" in n:
+            continue
+        regime = n.split("/")[4].split("/")[0]
+        import math
+        v = c.get("ops_per_sec", 0)
+        if v > 0:
+            geo[regime][0] += math.log(v)
+            geo[regime][1] += 1
+    import math
+    for regime, (slog, cnt) in sorted(geo.items()):
+        if cnt:
+            print(f"  {regime:12s} geomean={math.exp(slog/cnt)/1e6:.2f}M over {cnt} cells")
+
+    print("== fig5: list lookup50 at 8 threads (the paper's congestion-control cell) ==")
+    for n, _, c in fig(rows, "fig5/list/lookup50/threads:8"):
+        print(f"  {n.split('/')[-2]}: {c.get('ops_per_sec', 0)/1e6:.2f}M ops/s quiesce={c.get('quiesce', 0):.0f} q_waits={c.get('q_waits', 0):.0f} abort_pct={c.get('abort_pct', 0):.4f}")
+
+    print("== ablations ==")
+    for p in ["abl_quiesce_cc", "abl_htm_retry", "abl_lock_erasure", "abl_stm_algo", "abl_slices"]:
+        for n, _, c in fig(rows, p):
+            extras = " ".join(
+                f"{k}={c[k]:.3g}" for k in
+                ("ops_per_sec", "serial_pct", "q_waits", "bits", "psnr_db")
+                if k in c and c[k])
+            print(f"  {n}: {extras}")
+
+
+if __name__ == "__main__":
+    main()

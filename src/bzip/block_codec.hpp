@@ -1,0 +1,35 @@
+// Single-block compress/decompress: the full bzip2-style pipeline
+//   RLE1 -> BWT -> MTF -> ZRLE -> canonical Huffman
+// with a CRC-32 of the original data for integrity checking.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tle::bzip {
+
+/// Compress one block (any size >= 0).
+std::vector<std::uint8_t> compress_block(const std::uint8_t* data,
+                                         std::size_t n);
+
+inline std::vector<std::uint8_t> compress_block(
+    const std::vector<std::uint8_t>& data) {
+  return compress_block(data.data(), data.size());
+}
+
+struct DecodeResult {
+  bool ok = false;
+  std::string error;  ///< set when !ok
+  std::vector<std::uint8_t> data;
+};
+
+/// Decompress one block produced by compress_block. Detects truncation,
+/// malformed streams, and CRC mismatches.
+DecodeResult decompress_block(const std::uint8_t* data, std::size_t n);
+
+inline DecodeResult decompress_block(const std::vector<std::uint8_t>& data) {
+  return decompress_block(data.data(), data.size());
+}
+
+}  // namespace tle::bzip

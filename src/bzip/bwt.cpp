@@ -1,0 +1,105 @@
+#include "bzip/bwt.hpp"
+
+#include <numeric>
+
+namespace tle::bzip {
+
+namespace {
+
+/// Counting sort of `idx` by key `keys[(i + shift) % n]`, stable.
+/// keys values must lie in [0, bound).
+void counting_pass(const std::vector<std::uint32_t>& keys, std::size_t shift,
+                   std::uint32_t bound, std::vector<std::uint32_t>& idx,
+                   std::vector<std::uint32_t>& tmp,
+                   std::vector<std::uint32_t>& count) {
+  const std::size_t n = idx.size();
+  count.assign(bound + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) ++count[keys[(i + shift) % n]];
+  std::uint32_t sum = 0;
+  for (auto& c : count) {
+    const std::uint32_t t = c;
+    c = sum;
+    sum += t;
+  }
+  tmp.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t rotation = idx[i];
+    tmp[count[keys[(rotation + shift) % n]]++] = rotation;
+  }
+  idx.swap(tmp);
+}
+
+}  // namespace
+
+BwtResult bwt_forward(const std::uint8_t* data, std::size_t n) {
+  BwtResult out;
+  if (n == 0) return out;
+  if (n == 1) {
+    out.last_column.assign(1, data[0]);
+    out.primary_index = 0;
+    return out;
+  }
+
+  // rank[i]: equivalence class of rotation i under the current prefix length.
+  std::vector<std::uint32_t> rank(n), idx(n), tmp(n), count, next_rank(n);
+  for (std::size_t i = 0; i < n; ++i) rank[i] = data[i];
+  std::iota(idx.begin(), idx.end(), 0u);
+
+  std::uint32_t classes = 256;
+  for (std::size_t k = 1;; k <<= 1) {
+    // Radix sort rotations by (rank[i], rank[i+k]) — least significant first.
+    counting_pass(rank, k % n, classes, idx, tmp, count);
+    counting_pass(rank, 0, classes, idx, tmp, count);
+
+    // Re-rank.
+    next_rank[idx[0]] = 0;
+    std::uint32_t r = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      const std::uint32_t a = idx[i], b = idx[i - 1];
+      if (rank[a] != rank[b] ||
+          rank[(a + k) % n] != rank[(b + k) % n])
+        ++r;
+      next_rank[a] = r;
+    }
+    rank.swap(next_rank);
+    classes = r + 1;
+    if (classes == n || k >= n) break;
+  }
+
+  out.last_column.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint32_t start = idx[j];
+    out.last_column[j] = data[(start + n - 1) % n];
+    if (start == 0) out.primary_index = static_cast<std::uint32_t>(j);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> bwt_inverse(const std::uint8_t* last_column,
+                                      std::size_t n,
+                                      std::uint32_t primary_index) {
+  std::vector<std::uint8_t> out;
+  if (n == 0) return out;
+  // base[c]: first row of the sorted (first) column holding byte c.
+  std::uint32_t counts[256] = {};
+  for (std::size_t j = 0; j < n; ++j) ++counts[last_column[j]];
+  std::uint32_t base[256];
+  std::uint32_t sum = 0;
+  for (int c = 0; c < 256; ++c) {
+    base[c] = sum;
+    sum += counts[c];
+  }
+  // tt[f] = row of the last column that maps to first-column position f.
+  std::vector<std::uint32_t> tt(n);
+  for (std::size_t j = 0; j < n; ++j) tt[base[last_column[j]]++] = static_cast<std::uint32_t>(j);
+
+  out.resize(n);
+  std::uint32_t p = tt[primary_index];
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = last_column[p];
+    p = tt[p];
+  }
+  return out;
+}
+
+}  // namespace tle::bzip

@@ -1,0 +1,22 @@
+// Burrows–Wheeler transform over full cyclic rotations (as in bzip2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tle::bzip {
+
+struct BwtResult {
+  std::vector<std::uint8_t> last_column;
+  std::uint32_t primary_index = 0;  ///< row of the original string
+};
+
+/// Forward transform. O(n log n): prefix doubling with counting sort.
+BwtResult bwt_forward(const std::uint8_t* data, std::size_t n);
+
+/// Inverse transform.
+std::vector<std::uint8_t> bwt_inverse(const std::uint8_t* last_column,
+                                      std::size_t n,
+                                      std::uint32_t primary_index);
+
+}  // namespace tle::bzip

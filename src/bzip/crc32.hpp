@@ -1,0 +1,33 @@
+// CRC-32 (IEEE 802.3 polynomial), table-driven.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace tle::bzip {
+
+namespace detail {
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr auto kCrcTable = make_crc_table();
+}  // namespace detail
+
+/// One-shot CRC of a buffer.
+inline std::uint32_t crc32(const std::uint8_t* data, std::size_t n,
+                           std::uint32_t seed = 0) {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i)
+    c = detail::kCrcTable[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace tle::bzip

@@ -1,0 +1,41 @@
+// Canonical Huffman coding for the ZRLE symbol alphabet.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bzip/bitio.hpp"
+
+namespace tle::bzip {
+
+inline constexpr unsigned kMaxCodeLen = 20;
+
+/// Compute depth-limited code lengths for `freqs` (zero-frequency symbols
+/// get length 0). At least one symbol must have nonzero frequency.
+std::vector<std::uint8_t> huffman_code_lengths(
+    const std::vector<std::uint64_t>& freqs);
+
+/// Canonical code assignment from lengths (codes[i] valid iff lengths[i]>0).
+std::vector<std::uint32_t> canonical_codes(
+    const std::vector<std::uint8_t>& lengths);
+
+/// Streaming canonical decoder.
+class HuffmanDecoder {
+ public:
+  /// Build from code lengths. Returns false if the lengths are not a valid
+  /// (complete or over-complete-free) prefix code.
+  bool init(const std::vector<std::uint8_t>& lengths);
+
+  /// Decode one symbol; -1 on error/underrun.
+  int decode(BitReader& in) const;
+
+ private:
+  // first_code_[l]: canonical first code of length l;
+  // offset_[l]: index into sorted_symbols_ of that first code.
+  std::uint32_t first_code_[kMaxCodeLen + 2] = {};
+  std::uint32_t count_[kMaxCodeLen + 2] = {};
+  std::uint32_t offset_[kMaxCodeLen + 2] = {};
+  std::vector<std::uint16_t> sorted_symbols_;
+};
+
+}  // namespace tle::bzip

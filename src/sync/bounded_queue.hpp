@@ -1,0 +1,162 @@
+// A bounded MPMC FIFO built on an elidable mutex and transaction-friendly
+// condition variables — the synchronization shape of PBZip2's inter-stage
+// queues (the paper's main source of critical sections) and of x265's
+// lookahead/output queues.
+//
+// The TM_NoQuiesce placement follows the paper's Listing 2 exactly:
+//   * a producer never privatizes, so it always requests NoQuiesce;
+//   * a consumer privatizes the element it extracts, so it must quiesce on a
+//     successful pop, but requests NoQuiesce when it found the queue empty.
+// (The requests only take effect in the StmCondVarNoQ configuration.)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "sync/tx_condvar.hpp"
+#include "tm/api.hpp"
+
+namespace tle {
+
+template <typename T>
+class bounded_queue {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                "queue elements must fit a tm_var (use pointers for payloads)");
+
+ public:
+  explicit bounded_queue(std::size_t capacity)
+      : cap_(round_up_pow2(capacity)),
+        mask_(cap_ - 1),
+        slots_(new tm_var<T>[cap_]) {}
+
+  /// Blocking push. Returns false iff the queue was closed.
+  bool push(T item) {
+    for (;;) {
+      Outcome r = Outcome::Blocked;
+      critical(m_, [&](TxContext& tx) {
+        tx.no_quiesce();  // producers never privatize (Listing 2)
+        if (tx.read(closed_)) {
+          r = Outcome::Closed;
+          return;
+        }
+        const std::uint64_t h = tx.read(head_);
+        const std::uint64_t t = tx.read(tail_);
+        if (t - h >= cap_) {
+          r = Outcome::Blocked;
+          not_full_.wait(tx);  // wait is the section's last action
+          return;
+        }
+        tx.write(slots_[t & mask_], item);
+        tx.write(tail_, t + 1);
+        not_empty_.notify_one(tx);
+        r = Outcome::Done;
+      });
+      if (r == Outcome::Done) return true;
+      if (r == Outcome::Closed) return false;
+    }
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool try_push(T item) {
+    bool ok = false;
+    critical(m_, [&](TxContext& tx) {
+      tx.no_quiesce();
+      if (tx.read(closed_)) return;
+      const std::uint64_t h = tx.read(head_);
+      const std::uint64_t t = tx.read(tail_);
+      if (t - h >= cap_) return;
+      tx.write(slots_[t & mask_], item);
+      tx.write(tail_, t + 1);
+      not_empty_.notify_one(tx);
+      ok = true;
+    });
+    return ok;
+  }
+
+  /// Blocking pop. Empty optional iff the queue is closed and drained.
+  std::optional<T> pop() {
+    for (;;) {
+      Outcome r = Outcome::Blocked;
+      T out{};
+      critical(m_, [&](TxContext& tx) {
+        const std::uint64_t h = tx.read(head_);
+        const std::uint64_t t = tx.read(tail_);
+        if (h != t) {
+          out = tx.read(slots_[h & mask_]);
+          tx.write(head_, h + 1);
+          not_full_.notify_one(tx);
+          // Successful extraction privatizes `out`: quiescence required, so
+          // no TM_NoQuiesce here.
+          r = Outcome::Done;
+          return;
+        }
+        if (tx.read(closed_)) {
+          r = Outcome::Closed;
+          return;
+        }
+        tx.no_quiesce();  // nothing privatized on the empty path (Listing 2)
+        r = Outcome::Blocked;
+        not_empty_.wait(tx);
+      });
+      if (r == Outcome::Done) return out;
+      if (r == Outcome::Closed) return std::nullopt;
+    }
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::optional<T> out;
+    critical(m_, [&](TxContext& tx) {
+      const std::uint64_t h = tx.read(head_);
+      const std::uint64_t t = tx.read(tail_);
+      if (h == t) {
+        tx.no_quiesce();
+        return;
+      }
+      out = tx.read(slots_[h & mask_]);
+      tx.write(head_, h + 1);
+      not_full_.notify_one(tx);
+    });
+    return out;
+  }
+
+  /// Close the queue: producers start failing, consumers drain then stop.
+  void close() {
+    critical(m_, [&](TxContext& tx) {
+      tx.write(closed_, true);
+      not_empty_.notify_all(tx);
+      not_full_.notify_all(tx);
+    });
+  }
+
+  std::size_t capacity() const noexcept { return cap_; }
+
+  /// Approximate size; only exact when no concurrent operations run.
+  std::size_t size_unsafe() const noexcept {
+    return static_cast<std::size_t>(tail_.unsafe_get() - head_.unsafe_get());
+  }
+
+  bool closed_unsafe() const noexcept { return closed_.unsafe_get(); }
+
+ private:
+  enum class Outcome { Done, Closed, Blocked };
+
+  static std::size_t round_up_pow2(std::size_t n) noexcept {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p < 2 ? 2 : p;
+  }
+
+  const std::size_t cap_;
+  const std::size_t mask_;
+  std::unique_ptr<tm_var<T>[]> slots_;
+  tm_var<std::uint64_t> head_{0};
+  tm_var<std::uint64_t> tail_{0};
+  tm_var<bool> closed_{false};
+  elidable_mutex m_;
+  tx_condvar not_full_;
+  tx_condvar not_empty_;
+};
+
+}  // namespace tle

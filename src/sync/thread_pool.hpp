@@ -1,0 +1,84 @@
+// A plain worker pool for orchestration (frame threads, benchmark drivers).
+//
+// Deliberately built on ordinary std primitives: the pool is scaffolding,
+// not a measured critical section — the application-level locks (lookahead,
+// CTU rows, queues) are the elidable ones, as in the paper's x265 study.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tle {
+
+class thread_pool {
+ public:
+  explicit thread_pool(int workers) {
+    threads_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i)
+      threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+
+  ~thread_pool() {
+    {
+      std::lock_guard<std::mutex> g(m_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  /// Enqueue a job. Jobs may submit further jobs.
+  void submit(std::function<void()> job) {
+    {
+      std::lock_guard<std::mutex> g(m_);
+      jobs_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+  }
+
+  /// Block until the queue is empty and every worker is idle.
+  void wait_idle() {
+    std::unique_lock<std::mutex> g(m_);
+    idle_cv_.wait(g, [this] { return jobs_.empty() && active_ == 0; });
+  }
+
+  int size() const noexcept { return static_cast<int>(threads_.size()); }
+
+ private:
+  void worker_loop(int /*index*/) {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> g(m_);
+        cv_.wait(g, [this] { return stop_ || !jobs_.empty(); });
+        if (stop_ && jobs_.empty()) return;
+        job = std::move(jobs_.front());
+        jobs_.pop_front();
+        ++active_;
+      }
+      job();
+      {
+        std::lock_guard<std::mutex> g(m_);
+        --active_;
+        if (jobs_.empty() && active_ == 0) idle_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> jobs_;
+  int active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace tle

@@ -1,0 +1,161 @@
+#include "sync/tx_condvar.hpp"
+
+#include <semaphore.h>
+#include <time.h>
+
+#include <atomic>
+#include <cerrno>
+#include <deque>
+#include <mutex>
+
+#include "tm/config.hpp"
+#include "tm/registry.hpp"
+
+namespace tle {
+
+namespace {
+
+/// Per-thread wait slot: one semaphore a thread parks on. A thread waits on
+/// at most one condvar at a time (waits are the last action of a section).
+struct WaitSlot {
+  sem_t sem;
+  bool removed_by_timeout = false;
+
+  WaitSlot() { sem_init(&sem, 0, 0); }
+  ~WaitSlot() { sem_destroy(&sem); }
+};
+
+WaitSlot& my_wait_slot() {
+  thread_local WaitSlot slot;
+  return slot;
+}
+
+constexpr int kPendingCap = kMaxThreads;
+
+}  // namespace
+
+struct tx_condvar::Impl {
+  // Touched only from post-commit deferred actions and plain code — never
+  // inside a speculative region — so an ordinary mutex is safe and simple.
+  mutable std::mutex m;
+  std::deque<WaitSlot*> waiters;
+  int pending = 0;
+
+  /// Returns true if the caller should actually block (it was enqueued);
+  /// false if a banked signal was consumed.
+  bool enqueue(WaitSlot* s) {
+    std::lock_guard<std::mutex> g(m);
+    if (pending > 0) {
+      --pending;
+      return false;
+    }
+    waiters.push_back(s);
+    return true;
+  }
+
+  /// Try to withdraw after a timeout. True if we removed ourselves (real
+  /// timeout); false if a signal already claimed us (must absorb the post).
+  bool withdraw(WaitSlot* s) {
+    std::lock_guard<std::mutex> g(m);
+    for (auto it = waiters.begin(); it != waiters.end(); ++it) {
+      if (*it == s) {
+        waiters.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void signal_one() {
+    WaitSlot* target = nullptr;
+    {
+      std::lock_guard<std::mutex> g(m);
+      if (!waiters.empty()) {
+        target = waiters.front();
+        waiters.pop_front();
+      } else if (pending < kPendingCap) {
+        ++pending;
+      }
+    }
+    if (target) sem_post(&target->sem);
+  }
+
+  void signal_all() {
+    std::deque<WaitSlot*> grabbed;
+    {
+      std::lock_guard<std::mutex> g(m);
+      grabbed.swap(waiters);
+      pending = kPendingCap;  // bank for committed-but-not-yet-enqueued waiters
+    }
+    for (WaitSlot* s : grabbed) sem_post(&s->sem);
+  }
+};
+
+tx_condvar::tx_condvar() : impl_(new Impl) {}
+tx_condvar::~tx_condvar() { delete impl_; }
+
+void tx_condvar::block(bool timed, std::chrono::nanoseconds timeout) {
+  WaitSlot& slot = my_wait_slot();
+  if (!impl_->enqueue(&slot)) return;  // consumed a banked signal
+  TxStats& stats = my_slot().stats;
+  stats.bump(stats.condvar_waits);
+  if (!timed) {
+    while (sem_wait(&slot.sem) != 0 && errno == EINTR) {
+    }
+    return;
+  }
+  timespec abs;
+  clock_gettime(CLOCK_REALTIME, &abs);
+  const auto total = std::chrono::nanoseconds(abs.tv_nsec) + timeout;
+  abs.tv_sec += static_cast<time_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(total).count());
+  abs.tv_nsec = static_cast<long>((total % std::chrono::seconds(1)).count());
+  int rc;
+  while ((rc = sem_timedwait(&slot.sem, &abs)) != 0 && errno == EINTR) {
+  }
+  if (rc == 0) return;
+  // Timed out — withdraw, unless a signal claimed us in the race window, in
+  // which case the post must be absorbed so the slot stays balanced.
+  if (impl_->withdraw(&slot)) {
+    stats.bump(stats.condvar_timeouts);
+    return;
+  }
+  while (sem_wait(&slot.sem) != 0 && errno == EINTR) {
+  }
+}
+
+void tx_condvar::wait(TxContext& tx) {
+  if (config().mode == ExecMode::StmSpin) {
+    // The paper's STM+Spin configuration: no sleeping, just re-poll.
+    tx.defer([] { std::this_thread::yield(); });
+    return;
+  }
+  tx.defer([this] { block(false, {}); });
+}
+
+void tx_condvar::wait_for(TxContext& tx, std::chrono::nanoseconds timeout) {
+  if (config().mode == ExecMode::StmSpin) {
+    tx.defer([] { std::this_thread::yield(); });
+    return;
+  }
+  tx.defer([this, timeout] { block(true, timeout); });
+}
+
+void tx_condvar::notify_one(TxContext& tx) {
+  tx.defer([this] { impl_->signal_one(); });
+}
+
+void tx_condvar::notify_all(TxContext& tx) {
+  tx.defer([this] { impl_->signal_all(); });
+}
+
+void tx_condvar::notify_one_now() { impl_->signal_one(); }
+
+void tx_condvar::notify_all_now() { impl_->signal_all(); }
+
+int tx_condvar::waiter_count() const {
+  std::lock_guard<std::mutex> g(impl_->m);
+  return static_cast<int>(impl_->waiters.size());
+}
+
+}  // namespace tle

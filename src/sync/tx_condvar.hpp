@@ -1,0 +1,79 @@
+// Transaction-friendly condition variables (Wang et al.), extended with the
+// timed waits the paper added for x265 (Section VI-d).
+//
+// The classic condvar is incompatible with transactions: a waiter would
+// sleep inside a critical section. The transactional refactoring (which the
+// paper applies to both programs) requires:
+//
+//   * the wait is the transaction's LAST action, and
+//   * the whole check-or-wait runs in a loop that re-executes the
+//     transaction after wakeup.
+//
+// Usage pattern (identical in all five ExecModes):
+//
+//   for (;;) {
+//     bool done = false;
+//     tle::critical(m, [&](TxContext& tx) {
+//       if (predicate(tx)) { consume(tx); done = true; }
+//       else cv.wait(tx);                       // registered, runs post-commit
+//     });
+//     if (done) break;
+//   }
+//
+// Implementation: the wait/notify are deferred actions. The waiter enqueues
+// itself on the condvar's waiter list and blocks on its per-thread POSIX
+// semaphore *after* its transaction commits (after unlock, in Lock mode).
+// Because a notifier's deferred signal can race ahead of a committed
+// waiter's deferred enqueue, the condvar holds a bounded pending-signal
+// counter: a signal with no waiter present is banked and consumed by the
+// next enqueue. This banks at most kPendingCap spurious wakeups, which the
+// re-check loop absorbs — never a lost wakeup.
+//
+// In StmSpin mode wait() degenerates to a yield, reproducing the paper's
+// "STM + Spin" configuration (threads repeatedly poll their condition in a
+// small transaction).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "tm/api.hpp"
+
+namespace tle {
+
+class tx_condvar {
+ public:
+  tx_condvar();
+  ~tx_condvar();
+
+  tx_condvar(const tx_condvar&) = delete;
+  tx_condvar& operator=(const tx_condvar&) = delete;
+
+  /// Register this transaction's post-commit wait. Must be (logically) the
+  /// last action of the critical section; the enclosing code must loop.
+  void wait(TxContext& tx);
+
+  /// Timed variant: wakes spuriously after `timeout` if not notified
+  /// (x265's soft-real-time waits). The loop re-checks either way.
+  void wait_for(TxContext& tx, std::chrono::nanoseconds timeout);
+
+  /// Register a post-commit wake of one / all waiters.
+  void notify_one(TxContext& tx);
+  void notify_all(TxContext& tx);
+
+  /// Immediate variants for plain (non-critical-section) code, e.g. a
+  /// shutdown path.
+  void notify_one_now();
+  void notify_all_now();
+
+  /// Waiters currently blocked (approximate; for tests/monitoring).
+  int waiter_count() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+
+  void block(bool timed, std::chrono::nanoseconds timeout);
+};
+
+}  // namespace tle

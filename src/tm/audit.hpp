@@ -1,0 +1,56 @@
+// Privatization-race auditor — the Section IV-C tooling story.
+//
+// The paper: "We expect these errors [faulty TM_NoQuiesce assertions] to be
+// easy to identify and fix using transactional race detectors", citing
+// T-Rex and sketching its extension to selectively-disabled quiescence.
+// This module is that extension, as a dynamic checker:
+//
+//   When an STM transaction commits WITHOUT quiescing (because TM_NoQuiesce
+//   was honored, or the policy is Never/WriterOnly), the committing thread
+//   snapshots every peer's epoch. If the thread then performs a
+//   non-transactional access (tm_var::unsafe_get/unsafe_set) while any of
+//   those snapshotted transactions is STILL RUNNING, the access is exactly
+//   one that quiescence would have delayed — a potential privatization race
+//   — and is reported.
+//
+// The check records the unquiesced transaction's write set (up to a bounded
+// sample), so only accesses to data that transaction actually touched are
+// flagged — plus it is precise in time: the flagged access is exactly one
+// the skipped quiescence would have ordered. Zero overhead unless enabled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tle {
+struct TxDesc;
+}
+
+namespace tle::audit {
+
+/// Globally enable/disable auditing (off by default; enable in tests).
+void enable(bool on) noexcept;
+bool enabled() noexcept;
+
+struct Report {
+  std::uint64_t unquiesced_commits = 0;  ///< commits that skipped quiescence
+  std::uint64_t flagged_accesses = 0;    ///< unsafe accesses racing a peer
+  std::vector<std::string> samples;      ///< first few findings
+};
+
+Report report();
+void reset();
+
+// --- runtime hooks (called by the engine / tm_var) -------------------------
+
+/// The calling thread committed an STM transaction without quiescing.
+void on_unquiesced_commit(TxDesc& tx) noexcept;
+
+/// The calling thread completed a quiescence wait (hazard cleared).
+void on_quiesced(TxDesc& tx) noexcept;
+
+/// The calling thread performed a non-transactional tm_var access.
+void on_unsafe_access(const void* addr) noexcept;
+
+}  // namespace tle::audit

@@ -1,0 +1,106 @@
+// Runtime configuration for the TLE/TM runtime.
+//
+// The five algorithm configurations evaluated in the paper (Section VII) map
+// onto ExecMode values; quiescence behaviour (Section IV) is controlled
+// independently so the Figure-5 microbenchmarks can sweep it.
+#pragma once
+
+#include <cstdint>
+
+namespace tle {
+
+/// How critical sections passed to tle::critical() are executed.
+enum class ExecMode : std::uint8_t {
+  Lock,           ///< baseline: the original mutex is acquired (no elision)
+  StmSpin,        ///< STM elision; condition waits spin in small transactions
+  StmCondVar,     ///< STM elision + transaction-friendly condition variables
+  StmCondVarNoQ,  ///< as above, honoring TM_NoQuiesce requests
+  Htm,            ///< simulated-HTM elision + condvars, serial fallback
+};
+
+/// Which STM algorithm the Stm* modes run. Mirrors GCC libitm's method
+/// groups: ml_wt (the default the paper used) and gl_wt (a single global
+/// versioned lock, TML-style — cheap reads, zero write concurrency).
+enum class StmAlgo : std::uint8_t {
+  MlWt,  ///< multiple orec locks, write-through (TinySTM-flavoured)
+  GlWt,  ///< one global versioned lock, write-through
+};
+
+/// When a committing STM transaction performs the epoch-based quiescence wait.
+enum class QuiescePolicy : std::uint8_t {
+  Always,      ///< every transaction quiesces (GCC libitm since 2016)
+  WriterOnly,  ///< only writing transactions quiesce (pre-2016 GCC; breaks
+               ///< proxy privatization — kept for the ablation benchmark)
+  Never,       ///< no transaction quiesces (the unsafe "NoQ" of Figure 5)
+};
+
+/// Why a speculative transaction aborted.
+enum class AbortCause : std::uint8_t {
+  None = 0,
+  Conflict,       ///< encountered an orec locked by another transaction
+  Validation,     ///< read-set validation failed (timestamp/value check)
+  Capacity,       ///< simulated-HTM read/write set overflowed the L1 model
+  Unsafe,         ///< irrevocable operation attempted speculatively
+  SerialPending,  ///< another thread requested/holds the serial token
+  UserExplicit,   ///< user-requested cancel
+  Spurious,       ///< simulated-HTM environmental abort (interrupts, etc.)
+  kCount,
+};
+
+const char* to_string(ExecMode m) noexcept;
+const char* to_string(StmAlgo a) noexcept;
+const char* to_string(QuiescePolicy p) noexcept;
+const char* to_string(AbortCause c) noexcept;
+
+/// Global knobs. Mutated only between phases (never while transactions run).
+struct RuntimeConfig {
+  ExecMode mode = ExecMode::Lock;
+  StmAlgo stm_algo = StmAlgo::MlWt;
+  QuiescePolicy quiesce = QuiescePolicy::Always;
+
+  /// Honor TxContext::no_quiesce() requests (the paper's TM_NoQuiesce API).
+  bool honor_noquiesce = false;
+
+  /// Hardware-transaction attempts before serial fallback. The paper's
+  /// experiments use 2 ("fall back to a serial mode after hardware
+  /// transactions fail twice").
+  int htm_max_retries = 2;
+
+  /// STM attempts before the GCC-style serialize-for-progress fallback.
+  int stm_max_retries = 16;
+
+  /// Simulated L1D capacity model for HTM write sets: sets × ways 64-byte
+  /// lines (defaults model a 32 KB 8-way L1).
+  unsigned htm_write_sets = 64;
+  unsigned htm_write_ways = 8;
+  /// Read-set tracking budget (TSX tracks reads beyond L1; model 4× lines).
+  unsigned htm_read_sets = 256;
+  unsigned htm_read_ways = 8;
+
+  /// Probability that a hardware transaction aborts for environmental
+  /// reasons (timer interrupts, TLB misses, cache pressure from other
+  /// processes) — the failure class that dominated the paper's TSX runs
+  /// (13–18% of PBZip2 transactions fell back after two such aborts).
+  /// 0 (the default) keeps tests deterministic; benchmarks reproducing the
+  /// paper's HTM statistics set it to a calibrated value.
+  double htm_spurious_abort_rate = 0.0;
+
+  /// Ablation A3: when true, each elidable_mutex forms its own quiescence
+  /// domain instead of the single erased-lock domain of Section IV-A.
+  bool multi_domain = false;
+
+  /// Returns true if `mode` executes critical sections as STM transactions.
+  bool is_stm() const noexcept {
+    return mode == ExecMode::StmSpin || mode == ExecMode::StmCondVar ||
+           mode == ExecMode::StmCondVarNoQ;
+  }
+};
+
+/// The process-wide configuration (defined in runtime.cpp).
+RuntimeConfig& config() noexcept;
+
+/// Convenience: set `mode` plus the quiescence settings the paper pairs with
+/// it (NoQ mode honors TM_NoQuiesce; all STM modes quiesce Always).
+void set_exec_mode(ExecMode mode) noexcept;
+
+}  // namespace tle

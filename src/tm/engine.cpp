@@ -1,0 +1,593 @@
+// The two speculative engines and the shared commit/abort/quiescence
+// machinery.
+//
+//   * STM: ml_wt — encounter-time orec write locks, write-through with an
+//     undo log, TinySTM-style global-clock snapshots with timestamp
+//     extension, epoch quiescence at commit (paper Section IV).
+//   * Simulated HTM: NOrec-shaped — a global commit sequence, value-logged
+//     reads with revalidation whenever the sequence moves, buffered writes
+//     published under the sequence lock, plus an L1 capacity model and
+//     serial-pending subscription (paper Section II-A behaviours).
+//
+// Abort is longjmp-based: speculative bodies must confine side effects to
+// tm_var accesses, TxContext::alloc/free, and deferred actions (the same
+// contract compiler-based TM enforces statically via transaction_safe).
+#include "tm/txdesc.hpp"
+
+#include <cstdlib>
+
+#include "tm/audit.hpp"
+#include "tm/serial_lock.hpp"
+#include "tm/trace.hpp"
+#include "util/align.hpp"
+#include "util/timing.hpp"
+
+namespace tle {
+
+// Globals defined in runtime.cpp.
+std::atomic<std::uint64_t>& htm_seq() noexcept;
+std::atomic<std::uint64_t>& gl_lock() noexcept;
+
+namespace {
+
+TxStats& st(TxDesc& tx) noexcept { return *tx.stats; }
+
+// ---------------------------------------------------------------------------
+// Epochs (quiescence substrate)
+// ---------------------------------------------------------------------------
+
+void epoch_enter(TxDesc& tx) noexcept {
+  tx.slot->domain.store(tx.domain, std::memory_order_relaxed);
+  // seq_cst so the odd value is globally visible before any transactional
+  // read — a peer that misses it could under-wait in quiescence.
+  tx.slot->seq.fetch_add(1, std::memory_order_seq_cst);
+}
+
+void epoch_exit(TxDesc& tx) noexcept {
+  // Release: orders the undo/write-back stores before the "done" signal a
+  // quiescing privatizer synchronizes with.
+  tx.slot->seq.fetch_add(1, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// STM (ml_wt)
+// ---------------------------------------------------------------------------
+
+/// Read-set validation. Aborts on any orec whose unlocked value changed or
+/// that is now owned by another transaction. An orec we ourselves own is
+/// valid iff the pre-lock value we stashed matches what the read observed.
+void stm_validate(TxDesc& tx) {
+  for (const ReadEntry& r : tx.reads) {
+    const std::uint64_t cur = r.orec->load(std::memory_order_acquire);
+    if (cur == r.seen) continue;
+    if (orec_locked(cur) && orec_owner(cur) == &tx) {
+      bool ok = false;
+      for (const OwnedOrec& o : tx.owned) {
+        if (o.orec == r.orec) {
+          ok = (o.prev == r.seen);
+          break;
+        }
+      }
+      if (ok) continue;
+    }
+    tx_abort(tx, AbortCause::Validation);
+  }
+}
+
+/// TinySTM timestamp extension: adopt the current clock if the read set is
+/// still valid; abort otherwise.
+void stm_extend(TxDesc& tx) {
+  const std::uint64_t now = gclock().load(std::memory_order_acquire);
+  stm_validate(tx);
+  tx.rv = now;
+}
+
+std::uint64_t stm_read(TxDesc& tx, const std::atomic<std::uint64_t>& cell) {
+  if (serial_lock().serial_requested()) tx_abort(tx, AbortCause::SerialPending);
+  std::atomic<std::uint64_t>& o = orec_for(&cell);
+  for (unsigned spin = 0;;) {
+    const std::uint64_t ov = o.load(std::memory_order_acquire);
+    if (orec_locked(ov)) {
+      if (orec_owner(ov) == &tx) {
+        // Read-own-write: write-through means memory holds the new value.
+        return cell.load(std::memory_order_relaxed);
+      }
+      tx_abort(tx, AbortCause::Conflict);
+    }
+    if (orec_timestamp(ov) > tx.rv) {
+      stm_extend(tx);
+      continue;  // re-read under the extended snapshot
+    }
+    const std::uint64_t val = cell.load(std::memory_order_acquire);
+    if (o.load(std::memory_order_acquire) != ov) {
+      spin_pause(spin++);
+      continue;  // concurrent lock/release between our two orec loads
+    }
+    tx.reads.push_back({&o, ov});
+    return val;
+  }
+}
+
+void stm_write(TxDesc& tx, std::atomic<std::uint64_t>& cell,
+               std::uint64_t value) {
+  if (serial_lock().serial_requested()) tx_abort(tx, AbortCause::SerialPending);
+  std::atomic<std::uint64_t>& o = orec_for(&cell);
+  for (;;) {
+    const std::uint64_t ov = o.load(std::memory_order_acquire);
+    if (orec_locked(ov)) {
+      if (orec_owner(ov) != &tx) tx_abort(tx, AbortCause::Conflict);
+      break;  // already own it
+    }
+    if (orec_timestamp(ov) > tx.rv) {
+      stm_extend(tx);
+      continue;
+    }
+    std::uint64_t expected = ov;
+    if (o.compare_exchange_strong(expected, orec_lockword(&tx),
+                                  std::memory_order_acq_rel)) {
+      tx.owned.push_back({&o, ov});
+      break;
+    }
+    // Lost the race; loop re-examines the new value.
+  }
+  tx.undo.push_back({&cell, cell.load(std::memory_order_relaxed)});
+  cell.store(value, std::memory_order_relaxed);
+  tx.read_only = false;
+}
+
+void stm_begin(TxDesc& tx) {
+  tx.rv = gclock().load(std::memory_order_acquire);
+}
+
+void stm_commit(TxDesc& tx) {
+  if (tx.read_only) return;
+  const std::uint64_t wv =
+      gclock().fetch_add(1, std::memory_order_acq_rel) + 1;
+  // If nobody committed since we started, the read set is trivially valid.
+  if (wv != tx.rv + 1) stm_validate(tx);
+  for (const OwnedOrec& o : tx.owned)
+    o.orec->store(orec_commit_release(o.prev, wv), std::memory_order_release);
+}
+
+void stm_rollback(TxDesc& tx) noexcept {
+  // Undo in reverse so multiply-written words regain their oldest value.
+  for (auto it = tx.undo.rbegin(); it != tx.undo.rend(); ++it)
+    it->addr->store(it->old, std::memory_order_relaxed);
+  // The release on the orec publishes the restored values; the incarnation
+  // bump invalidates readers racing with our speculation.
+  for (const OwnedOrec& o : tx.owned)
+    o.orec->store(orec_abort_release(o.prev), std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// STM (gl_wt) — one global versioned lock, write-through (TML-style).
+// Even value = version; odd = a writer is active. Reads are a load plus one
+// global-word validation; the first write acquires the global lock, so
+// writing transactions serialize (GCC's gl_wt method group).
+// ---------------------------------------------------------------------------
+
+void glwt_begin(TxDesc& tx) {
+  unsigned spin = 0;
+  for (;;) {
+    const std::uint64_t v = gl_lock().load(std::memory_order_acquire);
+    if (!(v & 1)) {
+      tx.rv = v;
+      tx.gl_writer = false;
+      return;
+    }
+    spin_pause(spin++);
+  }
+}
+
+std::uint64_t glwt_read(TxDesc& tx, const std::atomic<std::uint64_t>& cell) {
+  if (serial_lock().serial_requested()) tx_abort(tx, AbortCause::SerialPending);
+  if (tx.gl_writer) return cell.load(std::memory_order_relaxed);
+  const std::uint64_t val = cell.load(std::memory_order_acquire);
+  if (gl_lock().load(std::memory_order_acquire) != tx.rv)
+    tx_abort(tx, AbortCause::Validation);
+  return val;
+}
+
+void glwt_write(TxDesc& tx, std::atomic<std::uint64_t>& cell,
+                std::uint64_t value) {
+  if (serial_lock().serial_requested()) tx_abort(tx, AbortCause::SerialPending);
+  if (!tx.gl_writer) {
+    std::uint64_t expected = tx.rv;
+    if (!gl_lock().compare_exchange_strong(expected, tx.rv + 1,
+                                           std::memory_order_acq_rel))
+      tx_abort(tx, AbortCause::Conflict);
+    tx.gl_writer = true;
+  }
+  tx.undo.push_back({&cell, cell.load(std::memory_order_relaxed)});
+  cell.store(value, std::memory_order_relaxed);
+  tx.read_only = false;
+}
+
+void glwt_commit(TxDesc& tx) {
+  if (tx.gl_writer) {
+    gl_lock().store(tx.rv + 2, std::memory_order_release);
+    tx.gl_writer = false;
+  }
+}
+
+void glwt_rollback(TxDesc& tx) noexcept {
+  for (auto it = tx.undo.rbegin(); it != tx.undo.rend(); ++it)
+    it->addr->store(it->old, std::memory_order_relaxed);
+  if (tx.gl_writer) {
+    // Bump the version so concurrent readers that saw speculative values
+    // fail their per-read validation.
+    gl_lock().store(tx.rv + 2, std::memory_order_release);
+    tx.gl_writer = false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Simulated HTM (NOrec-shaped)
+// ---------------------------------------------------------------------------
+
+void htm_configure_capacity(TxDesc& tx) {
+  const RuntimeConfig& cfg = config();
+  if (!tx.cap_configured || tx.wcap.sets() != cfg.htm_write_sets ||
+      tx.wcap.ways() != cfg.htm_write_ways ||
+      tx.rcap.sets() != cfg.htm_read_sets ||
+      tx.rcap.ways() != cfg.htm_read_ways) {
+    tx.wcap.configure(cfg.htm_write_sets, cfg.htm_write_ways);
+    tx.rcap.configure(cfg.htm_read_sets, cfg.htm_read_ways);
+    tx.cap_configured = true;
+  }
+  tx.wcap.new_txn();
+  tx.rcap.new_txn();
+}
+
+void htm_begin(TxDesc& tx) {
+  htm_configure_capacity(tx);
+  unsigned spin = 0;
+  for (;;) {
+    const std::uint64_t s = htm_seq().load(std::memory_order_acquire);
+    if (!(s & 1)) {
+      tx.hsnap = s;
+      return;
+    }
+    spin_pause(spin++);  // a committer is writing back
+  }
+}
+
+/// Re-validate every logged read by value and adopt the newest even
+/// sequence. Aborts if any value changed.
+void htm_revalidate(TxDesc& tx) {
+  unsigned spin = 0;
+  for (;;) {
+    const std::uint64_t s = htm_seq().load(std::memory_order_acquire);
+    if (s & 1) {
+      spin_pause(spin++);
+      continue;
+    }
+    for (const HtmRead& r : tx.hreads) {
+      if (r.addr->load(std::memory_order_acquire) != r.val)
+        tx_abort(tx, AbortCause::Validation);
+    }
+    if (htm_seq().load(std::memory_order_acquire) == s) {
+      tx.hsnap = s;
+      return;
+    }
+  }
+}
+
+std::uint64_t htm_read(TxDesc& tx, const std::atomic<std::uint64_t>& cell) {
+  // Real HTM transactions die the instant the fallback lock is taken; the
+  // pending-writer poll is our analog of the lock-word subscription.
+  if (serial_lock().serial_requested()) tx_abort(tx, AbortCause::SerialPending);
+
+  // Read-own-write from the store buffer (newest entry wins).
+  for (auto it = tx.hwrites.rbegin(); it != tx.hwrites.rend(); ++it)
+    if (it->addr == &cell) return it->val;
+
+  std::uint64_t val;
+  for (;;) {
+    if (htm_seq().load(std::memory_order_acquire) != tx.hsnap)
+      htm_revalidate(tx);
+    val = cell.load(std::memory_order_acquire);
+    if (htm_seq().load(std::memory_order_acquire) == tx.hsnap) break;
+  }
+  if (!tx.rcap.touch(&cell)) tx_abort(tx, AbortCause::Capacity);
+  tx.hreads.push_back({&cell, val});
+  return val;
+}
+
+void htm_write(TxDesc& tx, std::atomic<std::uint64_t>& cell,
+               std::uint64_t value) {
+  if (serial_lock().serial_requested()) tx_abort(tx, AbortCause::SerialPending);
+  if (!tx.wcap.touch(&cell)) tx_abort(tx, AbortCause::Capacity);
+  tx.hwrites.push_back({&cell, value});
+  tx.read_only = false;
+}
+
+void htm_commit(TxDesc& tx) {
+  // Environmental abort model: real HTM transactions die to interrupts,
+  // TLB misses, and cache pressure regardless of contention; the rate knob
+  // reproduces the paper's observed TSX failure statistics.
+  const double p = config().htm_spurious_abort_rate;
+  if (p > 0 && tx.backoff_rng.chance(p)) tx_abort(tx, AbortCause::Spurious);
+  if (tx.hwrites.empty()) return;  // read-only: snapshot was always valid
+  unsigned spin = 0;
+  for (;;) {
+    std::uint64_t expected = tx.hsnap;
+    if (htm_seq().compare_exchange_weak(expected, tx.hsnap + 1,
+                                        std::memory_order_acq_rel))
+      break;
+    // Someone committed since our snapshot: revalidate, adopt, retry.
+    htm_revalidate(tx);
+    spin_pause(spin++);
+  }
+  for (const HtmWrite& w : tx.hwrites)
+    w.addr->store(w.val, std::memory_order_relaxed);
+  htm_seq().store(tx.hsnap + 2, std::memory_order_release);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Quiescence (paper Section IV)
+// ---------------------------------------------------------------------------
+
+void quiesce_wait(TxDesc& tx, bool all_domains) {
+  st(tx).bump(st(tx).quiesce_calls);
+  if (trace::enabled()) trace::emit(trace::Event::Quiesce);
+  const bool domain_filter = config().multi_domain && !all_domains;
+  const int hw = slot_high_water();
+  ThreadSlot* slots = slot_table();
+  bool waited = false;
+  std::uint64_t wait_start = 0;
+  for (int i = 0; i < hw; ++i) {
+    ThreadSlot& s = slots[i];
+    if (&s == tx.slot) continue;
+    const std::uint64_t v = s.seq.load(std::memory_order_acquire);
+    if (!(v & 1)) continue;  // not inside a transaction
+    if (domain_filter &&
+        s.domain.load(std::memory_order_acquire) != tx.domain)
+      continue;  // ablation A3: other quiescence domain
+    if (!waited) {
+      waited = true;
+      wait_start = now_ns();
+    }
+    unsigned spin = 0;
+    while (s.seq.load(std::memory_order_acquire) == v) {
+      spin_pause(spin++);
+      st(tx).bump(st(tx).quiesce_spins);
+    }
+  }
+  if (waited) {
+    st(tx).bump(st(tx).quiesce_waits);
+    st(tx).bump(st(tx).quiesce_wait_ns, now_ns() - wait_start);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared speculative lifecycle
+// ---------------------------------------------------------------------------
+
+void tx_begin_speculative(TxDesc& tx) {
+  const RuntimeConfig& cfg = config();
+  tx.access = cfg.mode == ExecMode::Htm ? AccessMode::Htm : AccessMode::Stm;
+  tx.is_serial = false;
+  tx.depth = 1;
+  tx.clear_logs();
+  serial_lock().read_lock(*tx.slot);
+  epoch_enter(tx);
+  st(tx).bump(st(tx).txn_starts);
+  if (trace::enabled()) trace::emit(trace::Event::Begin);
+  if (tx.access == AccessMode::Stm) {
+    tx.algo = cfg.stm_algo;
+    if (tx.algo == StmAlgo::GlWt)
+      glwt_begin(tx);
+    else
+      stm_begin(tx);
+  } else {
+    htm_begin(tx);
+  }
+}
+
+void tx_commit_speculative(TxDesc& tx) {
+  if (tx.access == AccessMode::Stm)
+    tx.algo == StmAlgo::GlWt ? glwt_commit(tx) : stm_commit(tx);
+  else
+    htm_commit(tx);
+  epoch_exit(tx);
+  serial_lock().read_unlock(*tx.slot);
+  st(tx).bump(st(tx).commits);
+  if (trace::enabled()) trace::emit(trace::Event::Commit);
+  if (tx.read_only) st(tx).bump(st(tx).commits_readonly);
+  tx.depth = 0;
+  tx.attempts = 0;
+  tx.last_abort = AbortCause::None;
+}
+
+void tx_post_commit(TxDesc& tx) {
+  TxStats& s = st(tx);
+  // --- quiescence decision (Section IV-B) -------------------------------
+  bool need_q = false;
+  if (tx.access == AccessMode::Stm) {
+    switch (config().quiesce) {
+      case QuiescePolicy::Always: need_q = true; break;
+      case QuiescePolicy::WriterOnly: need_q = !tx.read_only; break;
+      case QuiescePolicy::Never: need_q = false; break;
+    }
+    if (need_q && config().honor_noquiesce && tx.noquiesce_req) {
+      if (tx.freed_memory) {
+        // The allocator exception: memory headed back to the system must
+        // outlive every concurrent transaction.
+        s.bump(s.noquiesce_ignored_free);
+      } else {
+        need_q = false;
+        s.bump(s.noquiesce_honored);
+      }
+    }
+  }
+  bool quiesced = false;
+  if (need_q) {
+    quiesce_wait(tx);
+    quiesced = true;
+  }
+  // §IV-C auditor hooks: arm the privatization-hazard tracker on unquiesced
+  // STM commits; clear it once this thread has genuinely quiesced.
+  if (audit::enabled() && tx.access == AccessMode::Stm) {
+    if (quiesced)
+      audit::on_quiesced(tx);
+    else
+      audit::on_unquiesced_commit(tx);
+  }
+  // --- deferred frees -----------------------------------------------------
+  if (!tx.frees.empty()) {
+    // Even engines that never quiesce for ordering (HTM, NoQ policy) must
+    // wait out concurrent transactions before recycling memory they might
+    // still read — zombie reads must land on live storage. And unlike the
+    // ordering quiesce, this one must cover EVERY domain: a zombie in
+    // another quiescence domain can still hold a reference. (The ordering
+    // quiesce above already covered everyone when multi_domain is off.)
+    if (!quiesced || config().multi_domain)
+      quiesce_wait(tx, /*all_domains=*/true);
+    for (void* p : tx.frees) ::operator delete(p);
+    s.bump(s.tm_frees, tx.frees.size());
+    tx.frees.clear();
+  }
+  // --- deferred actions (Section VI-c logging, condvar ops) ---------------
+  for (auto& fn : tx.deferred) {
+    fn();
+    s.bump(s.deferred_run);
+  }
+  tx.deferred.clear();
+  tx.allocs.clear();  // committed allocations are now owned by the program
+}
+
+void tx_abort(TxDesc& tx, AbortCause cause) {
+  if (tx.access == AccessMode::Stm)
+    tx.algo == StmAlgo::GlWt ? glwt_rollback(tx) : stm_rollback(tx);
+  // HTM rollback is trivial: buffered writes are simply dropped.
+  epoch_exit(tx);
+  serial_lock().read_unlock(*tx.slot);
+  st(tx).bump(st(tx).aborts[static_cast<int>(cause)]);
+  if (trace::enabled()) trace::emit(trace::Event::Abort, cause);
+  for (void* p : tx.allocs) ::operator delete(p);
+  tx.clear_logs();
+  tx.depth = 0;
+  tx.last_abort = cause;
+  std::longjmp(tx.env, static_cast<int>(cause));
+}
+
+void tx_rollback_for_exception(TxDesc& tx) {
+  if (tx.is_serial) return;  // serial sections are irrevocable; no rollback
+  if (tx.access == AccessMode::Stm)
+    tx.algo == StmAlgo::GlWt ? glwt_rollback(tx) : stm_rollback(tx);
+  epoch_exit(tx);
+  serial_lock().read_unlock(*tx.slot);
+  st(tx).bump(st(tx).aborts[static_cast<int>(AbortCause::UserExplicit)]);
+  for (void* p : tx.allocs) ::operator delete(p);
+  tx.clear_logs();
+  tx.depth = 0;
+  tx.attempts = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Serial (irrevocable) execution
+// ---------------------------------------------------------------------------
+
+void tx_serial_enter(TxDesc& tx) {
+  tx.access = AccessMode::Direct;
+  tx.is_serial = true;
+  tx.depth = 1;
+  tx.clear_logs();
+  serial_lock().write_lock(*tx.slot);
+  epoch_enter(tx);
+  if (trace::enabled()) trace::emit(trace::Event::SerialEnter);
+}
+
+void tx_serial_exit(TxDesc& tx) {
+  // No concurrent transactions exist: frees are immediate, no quiescence.
+  for (void* p : tx.frees) ::operator delete(p);
+  if (!tx.frees.empty()) st(tx).bump(st(tx).tm_frees, tx.frees.size());
+  epoch_exit(tx);
+  serial_lock().write_unlock(*tx.slot);
+  st(tx).bump(st(tx).serial_commits);
+  if (trace::enabled()) trace::emit(trace::Event::SerialExit);
+  for (auto& fn : tx.deferred) {
+    fn();
+    st(tx).bump(st(tx).deferred_run);
+  }
+  tx.deferred.clear();
+  tx.allocs.clear();
+  tx.depth = 0;
+  tx.is_serial = false;
+  tx.attempts = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Word accessors
+// ---------------------------------------------------------------------------
+
+std::uint64_t tx_read_word(TxDesc& tx, const std::atomic<std::uint64_t>& cell) {
+  switch (tx.access) {
+    case AccessMode::Direct:
+      return cell.load(std::memory_order_relaxed);
+    case AccessMode::Stm:
+      return tx.algo == StmAlgo::GlWt ? glwt_read(tx, cell)
+                                      : stm_read(tx, cell);
+    case AccessMode::Htm:
+      return htm_read(tx, cell);
+  }
+  __builtin_unreachable();
+}
+
+void tx_write_word(TxDesc& tx, std::atomic<std::uint64_t>& cell,
+                   std::uint64_t value) {
+  switch (tx.access) {
+    case AccessMode::Direct:
+      cell.store(value, std::memory_order_relaxed);
+      return;
+    case AccessMode::Stm:
+      if (tx.algo == StmAlgo::GlWt)
+        glwt_write(tx, cell, value);
+      else
+        stm_write(tx, cell, value);
+      return;
+    case AccessMode::Htm:
+      htm_write(tx, cell, value);
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+void tx_backoff(TxDesc& tx) {
+  // Randomized exponential backoff, capped; yields quickly so the scheme
+  // degrades gracefully on oversubscribed cores.
+  const unsigned cap = 1u << (tx.attempts < 10 ? tx.attempts : 10);
+  const unsigned spins =
+      static_cast<unsigned>(tx.backoff_rng.below(cap ? cap : 1));
+  for (unsigned i = 0; i < spins; ++i) spin_pause(i);
+}
+
+void tm_fence() {
+  // A quiescence fence from plain code: wait for every in-flight
+  // transaction (in our domain view) to commit or abort.
+  quiesce_wait(TxDesc::current());
+}
+
+TxDesc& TxDesc::current() noexcept {
+  thread_local TxDesc desc = [] {
+    TxDesc d;
+    d.slot_id = my_slot_id();
+    d.slot = &slot_table()[d.slot_id];
+    d.stats = &d.slot->stats;
+    d.backoff_rng.reseed(0x9E3779B9u ^ static_cast<unsigned>(d.slot_id));
+    return d;
+  }();
+  // A reused slot (thread exit + new thread) must rebind.
+  if (desc.slot_id != my_slot_id()) {
+    desc.slot_id = my_slot_id();
+    desc.slot = &slot_table()[desc.slot_id];
+    desc.stats = &desc.slot->stats;
+  }
+  return desc;
+}
+
+}  // namespace tle

@@ -1,0 +1,78 @@
+// Shared STM metadata: the global version clock and the ownership-record
+// (orec) table of the ml_wt algorithm (multiple locks, write-through) —
+// the GCC libitm default the paper's STM numbers use, itself "a
+// privatization-safe version of TinySTM".
+//
+// Orec encoding (64-bit word):
+//   bit 0        lock bit
+//   if locked:   bits 63..1 = owning TxDesc* >> 1 (descriptors are 8-aligned)
+//   if unlocked: bits 63..12 = commit timestamp, bits 11..1 = incarnation
+//
+// The incarnation counter is bumped when an aborting owner releases the orec
+// after undoing its in-place writes; it prevents the ABA where a reader's
+// pre/post orec check would otherwise accept a value observed mid-speculation
+// (TinySTM's scheme; the 11-bit wrap is harmless because it would need 2048
+// aborts on one orec inside a single reader's two-instruction window).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/align.hpp"
+
+namespace tle {
+
+struct TxDesc;  // defined in txdesc.hpp
+
+inline constexpr unsigned kOrecBits = 16;  // 65536 orecs (libitm uses 2^19 B)
+inline constexpr std::size_t kOrecCount = std::size_t{1} << kOrecBits;
+
+inline constexpr std::uint64_t kOrecLockBit = 1;
+inline constexpr unsigned kIncarnationBits = 11;
+inline constexpr std::uint64_t kIncarnationMask =
+    ((std::uint64_t{1} << kIncarnationBits) - 1) << 1;
+
+constexpr bool orec_locked(std::uint64_t v) noexcept { return v & kOrecLockBit; }
+
+inline TxDesc* orec_owner(std::uint64_t v) noexcept {
+  // Descriptors are at least 8-aligned, so clearing the lock bit suffices.
+  return reinterpret_cast<TxDesc*>(v & ~kOrecLockBit);
+}
+
+inline std::uint64_t orec_lockword(const TxDesc* owner) noexcept {
+  return reinterpret_cast<std::uint64_t>(owner) | kOrecLockBit;
+}
+
+constexpr std::uint64_t orec_timestamp(std::uint64_t v) noexcept {
+  return v >> (kIncarnationBits + 1);
+}
+
+constexpr std::uint64_t orec_make(std::uint64_t ts, std::uint64_t inc) noexcept {
+  return (ts << (kIncarnationBits + 1)) |
+         ((inc << 1) & kIncarnationMask);
+}
+
+constexpr std::uint64_t orec_incarnation(std::uint64_t v) noexcept {
+  return (v & kIncarnationMask) >> 1;
+}
+
+/// Unlocked word for a *committing* release at timestamp `wv`, keeping the
+/// previous incarnation.
+constexpr std::uint64_t orec_commit_release(std::uint64_t prev,
+                                            std::uint64_t wv) noexcept {
+  return orec_make(wv, orec_incarnation(prev));
+}
+
+/// Unlocked word for an *aborting* release: same timestamp, incarnation + 1.
+constexpr std::uint64_t orec_abort_release(std::uint64_t prev) noexcept {
+  return orec_make(orec_timestamp(prev), orec_incarnation(prev) + 1);
+}
+
+/// The global commit timestamp clock.
+std::atomic<std::uint64_t>& gclock() noexcept;
+
+/// The orec protecting `addr`. Consecutive words map to distinct orecs so
+/// adjacent fields of a node do not gratuitously conflict.
+std::atomic<std::uint64_t>& orec_for(const void* addr) noexcept;
+
+}  // namespace tle

@@ -1,0 +1,59 @@
+#include "tm/registry.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tle {
+
+namespace {
+
+ThreadSlot g_slots[kMaxThreads];
+std::atomic<int> g_high_water{0};
+
+/// RAII holder so a thread releases its slot at exit.
+struct SlotLease {
+  int id = -1;
+
+  ~SlotLease() {
+    if (id >= 0) {
+      // The slot's stats survive (aggregation reads claimed and unclaimed
+      // slots alike); only ownership is released.
+      g_slots[id].claimed.store(0, std::memory_order_release);
+    }
+  }
+};
+
+thread_local SlotLease t_lease;
+
+int claim_slot() noexcept {
+  for (int i = 0; i < kMaxThreads; ++i) {
+    std::uint8_t expected = 0;
+    if (g_slots[i].claimed.compare_exchange_strong(expected, 1,
+                                                   std::memory_order_acq_rel)) {
+      int hw = g_high_water.load(std::memory_order_relaxed);
+      while (hw < i + 1 && !g_high_water.compare_exchange_weak(
+                               hw, i + 1, std::memory_order_relaxed)) {
+      }
+      return i;
+    }
+  }
+  std::fprintf(stderr, "tle: more than %d concurrent threads\n", kMaxThreads);
+  std::abort();
+}
+
+}  // namespace
+
+ThreadSlot* slot_table() noexcept { return g_slots; }
+
+int my_slot_id() noexcept {
+  if (t_lease.id < 0) t_lease.id = claim_slot();
+  return t_lease.id;
+}
+
+ThreadSlot& my_slot() noexcept { return g_slots[my_slot_id()]; }
+
+int slot_high_water() noexcept {
+  return g_high_water.load(std::memory_order_acquire);
+}
+
+}  // namespace tle

@@ -1,0 +1,55 @@
+// Global thread registry: one cache-line-padded slot per participating
+// thread. The slot carries the three pieces of shared per-thread state the
+// runtime needs:
+//
+//   * the quiescence epoch sequence number (odd = inside a transaction),
+//   * the serial ("irrevocability") lock's distributed reader flag,
+//   * the statistics counters.
+//
+// Slots are claimed on a thread's first transactional operation and returned
+// when the thread exits, so thread pools and short-lived workers both work.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "tm/stats.hpp"
+#include "util/align.hpp"
+
+namespace tle {
+
+inline constexpr int kMaxThreads = 64;
+
+struct alignas(kCacheLine) ThreadSlot {
+  /// Quiescence epoch. Incremented to odd when a transaction begins and to
+  /// even when it ends (commit or fully-undone abort). A committing peer
+  /// quiesces by waiting for every odd slot to move.
+  std::atomic<std::uint64_t> seq{0};
+
+  /// Quiescence domain of the in-flight transaction (ablation A3 only;
+  /// always 0 in the paper's erased-lock configuration).
+  std::atomic<std::uint32_t> domain{0};
+
+  /// Distributed read-side flag of the serial lock.
+  std::atomic<std::uint8_t> sl_reader{0};
+
+  /// Slot ownership (0 free, 1 claimed).
+  std::atomic<std::uint8_t> claimed{0};
+
+  TxStats stats;
+};
+
+/// The global slot table.
+ThreadSlot* slot_table() noexcept;
+
+/// Index of the calling thread's slot, claiming one on first use.
+/// Aborts the process if more than kMaxThreads threads participate.
+int my_slot_id() noexcept;
+
+/// The calling thread's slot.
+ThreadSlot& my_slot() noexcept;
+
+/// Highest slot index ever claimed + 1 (bounds registry scans).
+int slot_high_water() noexcept;
+
+}  // namespace tle

@@ -1,0 +1,201 @@
+// Process-wide runtime state: configuration, the global clock, the orec
+// table, the simulated-HTM commit sequence, and statistics aggregation.
+#include <cstdio>
+
+#include "tm/config.hpp"
+#include "tm/meta.hpp"
+#include "tm/serial_lock.hpp"
+#include "tm/stats.hpp"
+#include "util/align.hpp"
+
+namespace tle {
+
+namespace {
+
+RuntimeConfig g_config;
+
+struct alignas(kCacheLine) GlobalClock {
+  std::atomic<std::uint64_t> value{1};
+};
+GlobalClock g_clock;
+
+struct alignas(kCacheLine) HtmSeq {
+  std::atomic<std::uint64_t> value{0};
+};
+HtmSeq g_htm_seq;
+
+struct alignas(kCacheLine) GlLock {
+  std::atomic<std::uint64_t> value{0};
+};
+GlLock g_gl_lock;
+
+// The orec table. Static storage: 64K * 8 B = 512 KB, matching the order of
+// libitm's table.
+std::atomic<std::uint64_t> g_orecs[kOrecCount];
+
+SerialLock g_serial_lock;
+
+}  // namespace
+
+RuntimeConfig& config() noexcept { return g_config; }
+
+void set_exec_mode(ExecMode mode) noexcept {
+  g_config.mode = mode;
+  g_config.quiesce = QuiescePolicy::Always;
+  g_config.honor_noquiesce = (mode == ExecMode::StmCondVarNoQ);
+}
+
+std::atomic<std::uint64_t>& gclock() noexcept { return g_clock.value; }
+
+std::atomic<std::uint64_t>& htm_seq() noexcept { return g_htm_seq.value; }
+
+std::atomic<std::uint64_t>& gl_lock() noexcept { return g_gl_lock.value; }
+
+std::atomic<std::uint64_t>& orec_for(const void* addr) noexcept {
+  // Word-granular mapping with a Fibonacci mix so neighbouring fields hit
+  // different orecs.
+  const std::uintptr_t word = reinterpret_cast<std::uintptr_t>(addr) >> 3;
+  const std::size_t idx =
+      (word * 0x9E3779B97F4A7C15ULL) >> (64 - kOrecBits);
+  return g_orecs[idx];
+}
+
+SerialLock& serial_lock() noexcept { return g_serial_lock; }
+
+// ---------------------------------------------------------------------------
+// Names
+// ---------------------------------------------------------------------------
+
+const char* to_string(ExecMode m) noexcept {
+  switch (m) {
+    case ExecMode::Lock: return "Lock";
+    case ExecMode::StmSpin: return "STM+Spin";
+    case ExecMode::StmCondVar: return "STM+CondVar";
+    case ExecMode::StmCondVarNoQ: return "STM+CondVar+NoQuiesce";
+    case ExecMode::Htm: return "HTM+CondVar";
+  }
+  return "?";
+}
+
+const char* to_string(StmAlgo a) noexcept {
+  switch (a) {
+    case StmAlgo::MlWt: return "ml_wt";
+    case StmAlgo::GlWt: return "gl_wt";
+  }
+  return "?";
+}
+
+const char* to_string(QuiescePolicy p) noexcept {
+  switch (p) {
+    case QuiescePolicy::Always: return "Always";
+    case QuiescePolicy::WriterOnly: return "WriterOnly";
+    case QuiescePolicy::Never: return "Never";
+  }
+  return "?";
+}
+
+const char* to_string(AbortCause c) noexcept {
+  switch (c) {
+    case AbortCause::None: return "none";
+    case AbortCause::Conflict: return "conflict";
+    case AbortCause::Validation: return "validation";
+    case AbortCause::Capacity: return "capacity";
+    case AbortCause::Unsafe: return "unsafe";
+    case AbortCause::SerialPending: return "serial-pending";
+    case AbortCause::UserExplicit: return "user-explicit";
+    case AbortCause::Spurious: return "spurious";
+    case AbortCause::kCount: break;
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------------
+
+StatsSnapshot aggregate_stats() noexcept {
+  StatsSnapshot out;
+  ThreadSlot* slots = slot_table();
+  const int hw = slot_high_water();
+  auto get = [](const TxStats::Counter& c) {
+    return c.load(std::memory_order_relaxed);
+  };
+  for (int i = 0; i < hw; ++i) {
+    const TxStats& s = slots[i].stats;
+    out.txn_starts += get(s.txn_starts);
+    out.commits += get(s.commits);
+    out.commits_readonly += get(s.commits_readonly);
+    for (int a = 0; a < static_cast<int>(AbortCause::kCount); ++a)
+      out.aborts[a] += get(s.aborts[a]);
+    out.serial_fallbacks += get(s.serial_fallbacks);
+    out.serial_commits += get(s.serial_commits);
+    out.lock_sections += get(s.lock_sections);
+    out.quiesce_calls += get(s.quiesce_calls);
+    out.quiesce_waits += get(s.quiesce_waits);
+    out.quiesce_spins += get(s.quiesce_spins);
+    out.quiesce_wait_ns += get(s.quiesce_wait_ns);
+    out.noquiesce_requests += get(s.noquiesce_requests);
+    out.noquiesce_honored += get(s.noquiesce_honored);
+    out.noquiesce_ignored_nested += get(s.noquiesce_ignored_nested);
+    out.noquiesce_ignored_free += get(s.noquiesce_ignored_free);
+    out.tm_allocs += get(s.tm_allocs);
+    out.tm_frees += get(s.tm_frees);
+    out.deferred_run += get(s.deferred_run);
+    out.condvar_waits += get(s.condvar_waits);
+    out.condvar_timeouts += get(s.condvar_timeouts);
+    out.htm_retries += get(s.htm_retries);
+  }
+  return out;
+}
+
+void reset_stats() noexcept {
+  ThreadSlot* slots = slot_table();
+  for (int i = 0; i < slot_high_water(); ++i) slots[i].stats.reset();
+}
+
+std::string StatsSnapshot::report() const {
+  char buf[1536];
+  int n = std::snprintf(
+      buf, sizeof buf,
+      "txn starts            %12llu\n"
+      "commits               %12llu  (read-only %llu)\n"
+      "serial commits        %12llu  (fallbacks %llu)\n"
+      "lock sections         %12llu\n"
+      "aborts                %12llu  (%.3f%% of starts)\n"
+      "  conflict            %12llu\n"
+      "  validation          %12llu\n"
+      "  capacity            %12llu\n"
+      "  unsafe              %12llu\n"
+      "  serial-pending      %12llu\n"
+      "  user-explicit       %12llu\n"
+      "  spurious (sim)      %12llu\n"
+      "quiesce calls/waits   %12llu / %llu (spins %llu, blocked %.3f ms)\n"
+      "noquiesce req/honored %12llu / %llu (ignored: nested %llu, free %llu)\n"
+      "tm alloc/free         %12llu / %llu\n"
+      "deferred actions      %12llu\n"
+      "condvar waits/timeouts%12llu / %llu\n"
+      "htm retries           %12llu\n",
+      (unsigned long long)txn_starts, (unsigned long long)commits,
+      (unsigned long long)commits_readonly, (unsigned long long)serial_commits,
+      (unsigned long long)serial_fallbacks, (unsigned long long)lock_sections,
+      (unsigned long long)aborts_total(), 100.0 * abort_rate(),
+      (unsigned long long)aborts[static_cast<int>(AbortCause::Conflict)],
+      (unsigned long long)aborts[static_cast<int>(AbortCause::Validation)],
+      (unsigned long long)aborts[static_cast<int>(AbortCause::Capacity)],
+      (unsigned long long)aborts[static_cast<int>(AbortCause::Unsafe)],
+      (unsigned long long)aborts[static_cast<int>(AbortCause::SerialPending)],
+      (unsigned long long)aborts[static_cast<int>(AbortCause::UserExplicit)],
+      (unsigned long long)aborts[static_cast<int>(AbortCause::Spurious)],
+      (unsigned long long)quiesce_calls, (unsigned long long)quiesce_waits,
+      (unsigned long long)quiesce_spins, quiesce_wait_ns / 1e6,
+      (unsigned long long)noquiesce_requests,
+      (unsigned long long)noquiesce_honored,
+      (unsigned long long)noquiesce_ignored_nested,
+      (unsigned long long)noquiesce_ignored_free,
+      (unsigned long long)tm_allocs, (unsigned long long)tm_frees,
+      (unsigned long long)deferred_run, (unsigned long long)condvar_waits,
+      (unsigned long long)condvar_timeouts, (unsigned long long)htm_retries);
+  return std::string(buf, buf + (n < 0 ? 0 : n));
+}
+
+}  // namespace tle

@@ -1,0 +1,88 @@
+// The serial/irrevocability lock — the mechanism GCC's libitm uses both for
+// synchronized-block irrevocability and for its serialize-on-repeated-abort
+// progress guarantee (paper Section II-B), and the fallback path of TLE with
+// (simulated) HTM.
+//
+// Structure: a distributed reader–writer lock. Every speculative transaction
+// holds the read side for its whole duration via a per-thread flag in its
+// registry slot (so uncontended entry is a single store + load, no shared
+// cache-line ping-pong). A transaction that must run irrevocably takes the
+// write side, which (a) publishes a "pending" bit that running speculative
+// transactions poll on every access — aborting them promptly, the analog of
+// TSX's lock-subscription abort — and (b) waits for every reader flag to
+// drop before proceeding in full isolation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "tm/registry.hpp"
+
+namespace tle {
+
+class SerialLock {
+ public:
+  /// Enter the read side (speculative transaction begin). Blocks while a
+  /// writer is pending or active.
+  void read_lock(ThreadSlot& me) noexcept {
+    for (unsigned spin = 0;;) {
+      me.sl_reader.store(1, std::memory_order_seq_cst);
+      // pending_ stays nonzero for the full pending+active writer window.
+      if (pending_.load(std::memory_order_seq_cst) == 0) return;
+      // A writer is pending/active: back out and wait politely.
+      me.sl_reader.store(0, std::memory_order_seq_cst);
+      while (pending_.load(std::memory_order_acquire) != 0) spin_pause(spin++);
+    }
+  }
+
+  void read_unlock(ThreadSlot& me) noexcept {
+    me.sl_reader.store(0, std::memory_order_release);
+  }
+
+  /// Acquire the write side. Caller must NOT hold the read side.
+  void write_lock(ThreadSlot& me) noexcept {
+    pending_.fetch_add(1, std::memory_order_seq_cst);
+    // Compete for the writer token.
+    unsigned spin = 0;
+    std::uint32_t expected = 0;
+    while (!writer_.compare_exchange_weak(expected, 1,
+                                          std::memory_order_acq_rel)) {
+      expected = 0;
+      spin_pause(spin++);
+    }
+    // Wait for every reader to drain. New readers see pending/writer via
+    // state_ and stay out.
+    const int hw = slot_high_water();
+    ThreadSlot* slots = slot_table();
+    for (int i = 0; i < hw; ++i) {
+      if (&slots[i] == &me) continue;
+      unsigned s = 0;
+      while (slots[i].sl_reader.load(std::memory_order_seq_cst) != 0)
+        spin_pause(s++);
+    }
+  }
+
+  void write_unlock(ThreadSlot&) noexcept {
+    writer_.store(0, std::memory_order_release);
+    pending_.fetch_sub(1, std::memory_order_release);
+  }
+
+  /// Polled by speculative transactions on every access: true if they should
+  /// abort to let a serial transaction through.
+  bool serial_requested() const noexcept {
+    return pending_.load(std::memory_order_relaxed) != 0;
+  }
+
+  bool writer_active() const noexcept {
+    return writer_.load(std::memory_order_acquire) != 0;
+  }
+
+ private:
+  alignas(kCacheLine) std::atomic<std::uint32_t> pending_{0};
+  alignas(kCacheLine) std::atomic<std::uint32_t> writer_{0};
+};
+
+/// The process-wide serial lock (defined in runtime.cpp).
+SerialLock& serial_lock() noexcept;
+
+}  // namespace tle

@@ -1,0 +1,132 @@
+// Per-thread transaction statistics.
+//
+// These counters are the evidence stream for the reproduction: Figure 4 and
+// the in-text Section VII-A numbers (transaction counts, abort percentages,
+// HTM serial-fallback rates) are regenerated from them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "tm/config.hpp"
+
+namespace tle {
+
+/// Counters owned by one thread; incremented with relaxed atomics so an
+/// aggregator may read them concurrently without UB.
+struct TxStats {
+  using Counter = std::atomic<std::uint64_t>;
+
+  Counter txn_starts{0};        ///< speculative attempts begun
+  Counter commits{0};           ///< speculative commits
+  Counter commits_readonly{0};  ///< subset of commits with empty write set
+  Counter aborts[static_cast<int>(AbortCause::kCount)] = {};
+  Counter serial_fallbacks{0};  ///< attempts that gave up and went serial
+  Counter serial_commits{0};    ///< irrevocable/serial executions completed
+  Counter lock_sections{0};     ///< critical sections run under the real lock
+
+  Counter quiesce_calls{0};  ///< post-commit quiescence operations performed
+  Counter quiesce_waits{0};  ///< quiescence calls that actually blocked
+  Counter quiesce_spins{0};  ///< spin iterations spent waiting in quiescence
+  Counter quiesce_wait_ns{0};  ///< nanoseconds spent blocked in quiescence
+
+  Counter noquiesce_requests{0};        ///< TM_NoQuiesce() invocations
+  Counter noquiesce_honored{0};         ///< commits that skipped quiescence
+  Counter noquiesce_ignored_nested{0};  ///< calls ignored: nested txn (§IV-B)
+  Counter noquiesce_ignored_free{0};    ///< skips denied: txn freed memory
+
+  Counter tm_allocs{0};
+  Counter tm_frees{0};
+  Counter deferred_run{0};    ///< deferred actions executed post-commit
+  Counter condvar_waits{0};
+  Counter condvar_timeouts{0};
+  Counter htm_retries{0};     ///< HTM re-attempts after an abort
+
+  void reset() noexcept {
+    auto zero = [](Counter& c) { c.store(0, std::memory_order_relaxed); };
+    zero(txn_starts);
+    zero(commits);
+    zero(commits_readonly);
+    for (auto& a : aborts) zero(a);
+    zero(serial_fallbacks);
+    zero(serial_commits);
+    zero(lock_sections);
+    zero(quiesce_calls);
+    zero(quiesce_waits);
+    zero(quiesce_spins);
+    zero(quiesce_wait_ns);
+    zero(noquiesce_requests);
+    zero(noquiesce_honored);
+    zero(noquiesce_ignored_nested);
+    zero(noquiesce_ignored_free);
+    zero(tm_allocs);
+    zero(tm_frees);
+    zero(deferred_run);
+    zero(condvar_waits);
+    zero(condvar_timeouts);
+    zero(htm_retries);
+  }
+
+  void bump(Counter& c, std::uint64_t n = 1) noexcept {
+    c.fetch_add(n, std::memory_order_relaxed);
+  }
+};
+
+/// Plain-value aggregate of every live thread's TxStats.
+struct StatsSnapshot {
+  std::uint64_t txn_starts = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t commits_readonly = 0;
+  std::uint64_t aborts[static_cast<int>(AbortCause::kCount)] = {};
+  std::uint64_t serial_fallbacks = 0;
+  std::uint64_t serial_commits = 0;
+  std::uint64_t lock_sections = 0;
+  std::uint64_t quiesce_calls = 0;
+  std::uint64_t quiesce_waits = 0;
+  std::uint64_t quiesce_spins = 0;
+  std::uint64_t quiesce_wait_ns = 0;
+  std::uint64_t noquiesce_requests = 0;
+  std::uint64_t noquiesce_honored = 0;
+  std::uint64_t noquiesce_ignored_nested = 0;
+  std::uint64_t noquiesce_ignored_free = 0;
+  std::uint64_t tm_allocs = 0;
+  std::uint64_t tm_frees = 0;
+  std::uint64_t deferred_run = 0;
+  std::uint64_t condvar_waits = 0;
+  std::uint64_t condvar_timeouts = 0;
+  std::uint64_t htm_retries = 0;
+
+  std::uint64_t aborts_total() const noexcept {
+    std::uint64_t t = 0;
+    for (auto a : aborts) t += a;
+    return t;
+  }
+
+  /// Fraction of speculative attempts that aborted (0 when none started).
+  double abort_rate() const noexcept {
+    return txn_starts ? static_cast<double>(aborts_total()) /
+                            static_cast<double>(txn_starts)
+                      : 0.0;
+  }
+
+  /// Fraction of logical transactions whose final execution was serial.
+  double serial_fraction() const noexcept {
+    const std::uint64_t logical = commits + serial_commits;
+    return logical ? static_cast<double>(serial_commits) /
+                         static_cast<double>(logical)
+                   : 0.0;
+  }
+
+  /// Multi-line human-readable report.
+  std::string report() const;
+};
+
+/// Sum the counters of every registered thread (safe while threads run; the
+/// result is then approximate, exact at barriers).
+StatsSnapshot aggregate_stats() noexcept;
+
+/// Zero every registered thread's counters.
+void reset_stats() noexcept;
+
+}  // namespace tle

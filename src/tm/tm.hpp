@@ -1,0 +1,7 @@
+// Umbrella header for the TLE/TM runtime.
+#pragma once
+
+#include "tm/api.hpp"      // IWYU pragma: export
+#include "tm/config.hpp"   // IWYU pragma: export
+#include "tm/stats.hpp"    // IWYU pragma: export
+#include "tm/txdesc.hpp"   // IWYU pragma: export

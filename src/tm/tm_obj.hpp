@@ -1,0 +1,66 @@
+// tm_obj<T> — a transactional container for trivially-copyable objects
+// larger than one word (small structs, fixed arrays). The object is striped
+// over 64-bit cells, each accessed through the TM engines, so reads are
+// consistent snapshots and writes are atomic with the enclosing transaction.
+//
+// For word-sized types prefer tm_var<T> (one cell, no loop).
+#pragma once
+
+#include <cstring>
+
+#include "tm/api.hpp"
+
+namespace tle {
+
+template <typename T>
+class tm_obj {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "tm_obj requires a trivially copyable type");
+
+ public:
+  static constexpr std::size_t kWords = (sizeof(T) + 7) / 8;
+
+  tm_obj() { unsafe_set(T{}); }
+  explicit tm_obj(const T& v) { unsafe_set(v); }
+
+  tm_obj(const tm_obj&) = delete;
+  tm_obj& operator=(const tm_obj&) = delete;
+
+  /// Transactional snapshot read.
+  T get(TxContext& tx) const {
+    std::uint64_t raw[kWords];
+    for (std::size_t i = 0; i < kWords; ++i) raw[i] = tx.read_raw(cells_[i]);
+    T v;
+    std::memcpy(&v, raw, sizeof(T));
+    return v;
+  }
+
+  /// Transactional whole-object write.
+  void set(TxContext& tx, const T& v) {
+    std::uint64_t raw[kWords] = {};
+    std::memcpy(raw, &v, sizeof(T));
+    for (std::size_t i = 0; i < kWords; ++i) tx.write_raw(cells_[i], raw[i]);
+  }
+
+  /// Non-transactional accessors — same ownership contract as tm_var's.
+  T unsafe_get() const {
+    std::uint64_t raw[kWords];
+    for (std::size_t i = 0; i < kWords; ++i)
+      raw[i] = cells_[i].load(std::memory_order_relaxed);
+    T v;
+    std::memcpy(&v, raw, sizeof(T));
+    return v;
+  }
+
+  void unsafe_set(const T& v) {
+    std::uint64_t raw[kWords] = {};
+    std::memcpy(raw, &v, sizeof(T));
+    for (std::size_t i = 0; i < kWords; ++i)
+      cells_[i].store(raw[i], std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::atomic<std::uint64_t> cells_[kWords];
+};
+
+}  // namespace tle

@@ -1,0 +1,70 @@
+#include "tm/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "tm/registry.hpp"
+#include "util/timing.hpp"
+
+namespace tle::trace {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+struct Ring {
+  Record records[kRingSize];
+  std::atomic<std::uint64_t> next{0};  // total emitted (head = next % size)
+};
+
+Ring g_rings[kMaxThreads];
+
+}  // namespace
+
+const char* to_string(Event e) noexcept {
+  switch (e) {
+    case Event::Begin: return "begin";
+    case Event::Commit: return "commit";
+    case Event::Abort: return "abort";
+    case Event::SerialEnter: return "serial-enter";
+    case Event::SerialExit: return "serial-exit";
+    case Event::Quiesce: return "quiesce";
+  }
+  return "?";
+}
+
+void enable(bool on) noexcept { g_enabled.store(on, std::memory_order_release); }
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void emit(Event e, AbortCause cause) noexcept {
+  const int slot = my_slot_id();
+  Ring& ring = g_rings[slot];
+  const std::uint64_t i = ring.next.load(std::memory_order_relaxed);
+  Record& r = ring.records[i % kRingSize];
+  r.ts_ns = now_ns();
+  r.slot = static_cast<std::uint32_t>(slot);
+  r.event = e;
+  r.cause = cause;
+  ring.next.store(i + 1, std::memory_order_release);
+}
+
+std::vector<Record> snapshot() {
+  std::vector<Record> out;
+  for (int s = 0; s < slot_high_water(); ++s) {
+    Ring& ring = g_rings[s];
+    const std::uint64_t total = ring.next.load(std::memory_order_acquire);
+    const std::uint64_t count = std::min<std::uint64_t>(total, kRingSize);
+    for (std::uint64_t k = total - count; k < total; ++k)
+      out.push_back(ring.records[k % kRingSize]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Record& a, const Record& b) { return a.ts_ns < b.ts_ns; });
+  return out;
+}
+
+void reset() noexcept {
+  for (auto& ring : g_rings) ring.next.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace tle::trace

@@ -1,0 +1,52 @@
+// Lightweight TM event tracing.
+//
+// When enabled, the engine emits begin/commit/abort/serial/quiesce events
+// into fixed-size per-thread rings (relaxed stores by the owner, no shared
+// contention). snapshot() merges the rings into one time-ordered record of
+// recent TM activity — the first tool to reach for when a TLE workload
+// misbehaves (who serialized? what aborted? how often did quiescence run?).
+// Zero overhead when disabled (one relaxed flag load per event site).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tm/config.hpp"
+
+namespace tle::trace {
+
+enum class Event : std::uint8_t {
+  Begin,        ///< speculative attempt started
+  Commit,       ///< speculative commit
+  Abort,        ///< speculative abort (cause recorded)
+  SerialEnter,  ///< irrevocable execution began
+  SerialExit,   ///< irrevocable execution finished
+  Quiesce,      ///< post-commit quiescence performed
+};
+
+const char* to_string(Event e) noexcept;
+
+struct Record {
+  std::uint64_t ts_ns;  ///< steady-clock timestamp
+  std::uint32_t slot;   ///< thread slot id
+  Event event;
+  AbortCause cause;  ///< meaningful for Abort
+};
+
+/// Global on/off switch (off by default).
+void enable(bool on) noexcept;
+bool enabled() noexcept;
+
+/// Engine hook: record an event for the calling thread.
+void emit(Event e, AbortCause cause = AbortCause::None) noexcept;
+
+/// Merge every thread's ring into one timestamp-sorted vector. Each ring
+/// holds the most recent kRingSize events; older ones are overwritten.
+std::vector<Record> snapshot();
+
+/// Drop all recorded events.
+void reset() noexcept;
+
+inline constexpr std::size_t kRingSize = 4096;
+
+}  // namespace tle::trace

@@ -1,0 +1,222 @@
+// The per-thread transaction descriptor.
+//
+// One TxDesc exists per thread (lazily, on first transactional operation).
+// It owns the read set, write (owned-orec) set, undo log, simulated-HTM
+// value log and write buffer, allocation logs, and deferred actions — plus
+// the setjmp environment that abort-and-retry unwinds to.
+#pragma once
+
+#include <algorithm>
+#include <csetjmp>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tm/config.hpp"
+#include "tm/meta.hpp"
+#include "tm/registry.hpp"
+#include "util/rng.hpp"
+
+namespace tle {
+
+/// How TxContext accessors touch memory for the current section.
+enum class AccessMode : std::uint8_t {
+  Direct,  ///< under the real lock or the serial token: plain accesses
+  Stm,     ///< ml_wt instrumented accesses
+  Htm,     ///< simulated-HTM accesses (value log + write buffer)
+};
+
+/// Dedup/capacity tracker for the simulated-HTM L1 model: a tiny
+/// set-associative "cache" of 64-byte line tags. touch() returns false when
+/// the structure would need to evict a transactional line — a capacity abort.
+class LineTracker {
+ public:
+  /// (Re)size the model. O(sets*ways); called only when the config changes.
+  void configure(unsigned sets, unsigned ways) {
+    sets_ = sets ? sets : 1;
+    ways_ = ways ? ways : 1;
+    tags_.assign(static_cast<std::size_t>(sets_) * ways_, 0);
+    gens_.assign(tags_.size(), 0);
+    gen_ = 1;
+    distinct_ = 0;
+  }
+
+  unsigned sets() const noexcept { return sets_; }
+  unsigned ways() const noexcept { return ways_; }
+
+  /// Start a new transaction: O(1) — old entries become stale via the
+  /// generation stamp instead of a table wipe.
+  void new_txn() noexcept {
+    if (++gen_ == 0) {  // wrapped: genuinely wipe once every 2^32 txns
+      std::fill(gens_.begin(), gens_.end(), 0);
+      gen_ = 1;
+    }
+    distinct_ = 0;
+  }
+
+  /// Track the line containing `addr`. Returns false on capacity overflow
+  /// (the set is full of this transaction's lines — a simulated eviction of
+  /// speculative state, i.e. an HTM capacity abort).
+  bool touch(const void* addr) noexcept {
+    const std::uint64_t line =
+        (reinterpret_cast<std::uintptr_t>(addr) >> 6) | (1ULL << 63);
+    const std::size_t set =
+        static_cast<std::size_t>(line * 0x9E3779B97F4A7C15ULL >> 32) % sets_;
+    const std::size_t base = set * ways_;
+    for (unsigned w = 0; w < ways_; ++w) {
+      if (gens_[base + w] != gen_) {  // free (stale) way
+        tags_[base + w] = line;
+        gens_[base + w] = gen_;
+        ++distinct_;
+        return true;
+      }
+      if (tags_[base + w] == line) return true;  // already tracked
+    }
+    return false;
+  }
+
+  std::size_t distinct_lines() const noexcept { return distinct_; }
+
+ private:
+  unsigned sets_ = 1;
+  unsigned ways_ = 1;
+  std::uint32_t gen_ = 0;
+  std::size_t distinct_ = 0;
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint32_t> gens_;
+};
+
+struct ReadEntry {
+  std::atomic<std::uint64_t>* orec;
+  std::uint64_t seen;  // unlocked orec value observed at read time
+};
+
+struct OwnedOrec {
+  std::atomic<std::uint64_t>* orec;
+  std::uint64_t prev;  // unlocked value replaced by our lock word
+};
+
+struct UndoEntry {
+  std::atomic<std::uint64_t>* addr;
+  std::uint64_t old;
+};
+
+struct HtmRead {
+  const std::atomic<std::uint64_t>* addr;
+  std::uint64_t val;
+};
+
+struct HtmWrite {
+  std::atomic<std::uint64_t>* addr;
+  std::uint64_t val;
+};
+
+struct TxDesc {
+  // --- abort/retry machinery -------------------------------------------
+  std::jmp_buf env;            ///< longjmp target: the retry loop
+  unsigned attempts = 0;       ///< aborts of the current logical transaction
+  bool force_serial = false;   ///< next attempt runs irrevocably
+  int attr_retries = 0;        ///< per-section retry override (0 = global)
+  bool attr_prefer_serial = false;  ///< per-section straight-to-serial hint
+  AbortCause last_abort = AbortCause::None;
+
+  // --- identity ----------------------------------------------------------
+  ThreadSlot* slot = nullptr;
+  int slot_id = -1;
+  TxStats* stats = nullptr;
+
+  // --- current-section state ----------------------------------------------
+  AccessMode access = AccessMode::Direct;
+  std::uint32_t depth = 0;  ///< flat nesting depth (0 = not in a section)
+  bool is_serial = false;   ///< holding the serial write token
+  bool in_lock_section = false;  ///< Lock-mode critical section (no TM)
+  std::uint32_t domain = 0;      ///< quiescence domain (ablation A3)
+
+  // --- STM -------------------------------------------------------------
+  StmAlgo algo = StmAlgo::MlWt;  ///< algorithm of the current attempt
+  std::uint64_t rv = 0;   ///< validity timestamp (snapshot)
+  bool gl_writer = false; ///< gl_wt: this txn holds the global write lock
+  bool read_only = true;
+  std::vector<ReadEntry> reads;
+  std::vector<OwnedOrec> owned;
+  std::vector<UndoEntry> undo;
+
+  // --- simulated HTM -------------------------------------------------------
+  std::uint64_t hsnap = 0;  ///< NOrec-style global-sequence snapshot
+  std::vector<HtmRead> hreads;
+  std::vector<HtmWrite> hwrites;
+  LineTracker rcap;  ///< read-set capacity model
+  LineTracker wcap;  ///< write-set capacity model
+  bool cap_configured = false;
+
+  // --- quiescence interaction ----------------------------------------------
+  bool noquiesce_req = false;  ///< TM_NoQuiesce called at top level
+  bool freed_memory = false;   ///< transaction freed memory (§IV-B exception)
+
+  // --- allocation + deferral logs -------------------------------------------
+  std::vector<void*> allocs;  ///< released if the transaction aborts
+  std::vector<void*> frees;   ///< released after commit (+forced quiescence)
+  std::vector<std::function<void()>> deferred;  ///< run post-commit, FIFO
+
+  Xoshiro256 backoff_rng{0xC0FFEE};
+
+  // ---------------------------------------------------------------------
+  /// The calling thread's descriptor (created on first use).
+  static TxDesc& current() noexcept;
+
+  bool in_txn() const noexcept { return depth > 0; }
+
+  void clear_logs() noexcept {
+    reads.clear();
+    owned.clear();
+    undo.clear();
+    hreads.clear();
+    hwrites.clear();
+    allocs.clear();
+    frees.clear();
+    deferred.clear();
+    noquiesce_req = false;
+    freed_memory = false;
+    read_only = true;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Engine entry points (engine.cpp). All may longjmp to tx.env on abort.
+// ---------------------------------------------------------------------------
+
+/// Begin/commit a speculative attempt in the configured mode.
+void tx_begin_speculative(TxDesc& tx);
+void tx_commit_speculative(TxDesc& tx);
+
+/// Post-commit duties that never abort: quiescence (per policy and
+/// TM_NoQuiesce), deferred frees, deferred actions.
+void tx_post_commit(TxDesc& tx);
+
+/// Roll back and longjmp(env, cause). Never returns.
+[[noreturn]] void tx_abort(TxDesc& tx, AbortCause cause);
+
+/// Roll back WITHOUT longjmp (used to propagate a user exception out of an
+/// atomic section with cancel-and-throw semantics).
+void tx_rollback_for_exception(TxDesc& tx);
+
+/// Word accessors dispatched on tx.access.
+std::uint64_t tx_read_word(TxDesc& tx, const std::atomic<std::uint64_t>& cell);
+void tx_write_word(TxDesc& tx, std::atomic<std::uint64_t>& cell,
+                   std::uint64_t value);
+
+/// Serial execution bookkeeping (engine.cpp): acquire/release the serial
+/// write token with epoch + stats updates.
+void tx_serial_enter(TxDesc& tx);
+void tx_serial_exit(TxDesc& tx);
+
+/// Randomized-exponential backoff between retries.
+void tx_backoff(TxDesc& tx);
+
+/// Epoch-wait: block until every concurrent transaction in `tx`'s domain
+/// (all domains when multi_domain is off, or when `all_domains` is set —
+/// required before freeing memory, where safety is global) commits or
+/// aborts. Exposed for tests and for tm_fence().
+void quiesce_wait(TxDesc& tx, bool all_domains = false);
+
+}  // namespace tle

@@ -1,0 +1,78 @@
+#include "tpl/discipline.hpp"
+
+namespace tle::tpl {
+
+namespace {
+constexpr std::size_t kMaxSamples = 8;
+constexpr std::size_t kMaxTrace = 160;  // keep session trails bounded
+}  // namespace
+
+DisciplineMonitor::ThreadState&
+DisciplineMonitor::state_for_current_thread() {
+  return states_[my_slot_id()];
+}
+
+void DisciplineMonitor::on_acquire(const void* lock, const char* name) {
+  ThreadState& st = state_for_current_thread();
+  const bool violating = !st.held.empty() && st.released_in_session;
+  st.held.push_back(lock);
+  if (st.trace.size() < kMaxTrace) {
+    st.trace += name;
+    st.trace += "+ ";
+  }
+  std::lock_guard<std::mutex> g(m_);
+  ++report_.acquires;
+  if (st.held.size() > report_.max_nesting)
+    report_.max_nesting = st.held.size();
+  if (violating) {
+    ++report_.violations;
+    if (report_.samples.size() < kMaxSamples)
+      report_.samples.push_back(
+          Violation{my_slot_id(), name, st.trace});
+  }
+}
+
+void DisciplineMonitor::on_release(const void* lock, const char* name) {
+  ThreadState& st = state_for_current_thread();
+  for (auto it = st.held.rbegin(); it != st.held.rend(); ++it) {
+    if (*it == lock) {
+      st.held.erase(std::next(it).base());
+      break;
+    }
+  }
+  if (st.trace.size() < kMaxTrace) {
+    st.trace += name;
+    st.trace += "- ";
+  }
+  if (st.held.empty()) {
+    // Session complete.
+    std::lock_guard<std::mutex> g(m_);
+    ++report_.sessions;
+    st.released_in_session = false;
+    st.trace.clear();
+  } else {
+    st.released_in_session = true;
+  }
+}
+
+bool DisciplineMonitor::clean() const {
+  std::lock_guard<std::mutex> g(m_);
+  return report_.violations == 0;
+}
+
+Report DisciplineMonitor::report() const {
+  std::lock_guard<std::mutex> g(m_);
+  return report_;
+}
+
+void DisciplineMonitor::reset() {
+  std::lock_guard<std::mutex> g(m_);
+  report_ = Report{};
+  for (auto& st : states_) {
+    st.held.clear();
+    st.released_in_session = false;
+    st.trace.clear();
+  }
+}
+
+}  // namespace tle::tpl

@@ -1,0 +1,98 @@
+// Dynamic two-phase-locking (2PL) discipline checker — Section V tooling.
+//
+// The paper found that x265's most important critical section could not be
+// transactionalized because its lock acquire/release pattern violated
+// two-phase locking (Listing 3), and left as an open question whether 2PL is
+// a sufficient condition for safe naïve transactionalization. This monitor
+// makes the property testable on a running program:
+//
+// A *session* spans from a thread's first lock acquisition until it holds no
+// locks. Within a session, 2PL requires every acquire to precede every
+// release (a growing phase then a shrinking phase). The monitor records each
+// thread's acquire/release events and flags any acquire that follows a
+// release in the same session — exactly the pattern that forced the paper's
+// ready-flag refactoring (Listing 4).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "tm/registry.hpp"
+
+namespace tle::tpl {
+
+struct Violation {
+  int thread_slot;
+  std::string lock_name;     ///< lock whose acquire broke the discipline
+  std::string session_trace; ///< compact "A+ B+ B- C+" style event trail
+};
+
+struct Report {
+  std::uint64_t sessions = 0;          ///< completed lock sessions
+  std::uint64_t acquires = 0;
+  std::uint64_t violations = 0;        ///< acquires that followed a release
+  std::uint64_t max_nesting = 0;       ///< deepest simultaneous lock hold
+  std::vector<Violation> samples;      ///< first few violating sessions
+};
+
+class DisciplineMonitor {
+ public:
+  DisciplineMonitor() = default;
+  DisciplineMonitor(const DisciplineMonitor&) = delete;
+  DisciplineMonitor& operator=(const DisciplineMonitor&) = delete;
+
+  /// Record an acquisition of `lock` (opaque identity; `name` for reports).
+  void on_acquire(const void* lock, const char* name);
+
+  /// Record a release of `lock`.
+  void on_release(const void* lock, const char* name);
+
+  /// True if no violation has been observed so far.
+  bool clean() const;
+
+  Report report() const;
+
+  void reset();
+
+ private:
+  struct ThreadState {
+    std::vector<const void*> held;
+    bool released_in_session = false;
+    std::string trace;  ///< event trail of the current session
+  };
+
+  ThreadState& state_for_current_thread();
+
+  mutable std::mutex m_;
+  Report report_;
+  ThreadState states_[kMaxThreads];
+};
+
+/// A mutex wrapper that feeds a DisciplineMonitor. Used by the videnc
+/// Listing-3/Listing-4 demonstrations and directly in tests.
+class MonitoredMutex {
+ public:
+  MonitoredMutex(DisciplineMonitor& mon, const char* name)
+      : mon_(&mon), name_(name) {}
+
+  void lock() {
+    m_.lock();
+    mon_->on_acquire(this, name_);
+  }
+
+  void unlock() {
+    mon_->on_release(this, name_);
+    m_.unlock();
+  }
+
+  const char* name() const noexcept { return name_; }
+
+ private:
+  std::mutex m_;
+  DisciplineMonitor* mon_;
+  const char* name_;
+};
+
+}  // namespace tle::tpl

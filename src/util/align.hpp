@@ -1,0 +1,54 @@
+// Cache-line aware building blocks shared by every module.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+
+namespace tle {
+
+/// Size every concurrency-facing slot is padded to. 64 bytes on x86;
+/// 128 would also cover adjacent-line prefetching, but 64 matches the
+/// hardware the paper used and keeps tables compact.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// An atomic counter padded to a full cache line so that per-thread slots
+/// in global registries never false-share.
+template <typename T>
+struct alignas(kCacheLine) PaddedAtomic {
+  std::atomic<T> value{};
+
+  // Padding to a full line; alignas alone fixes the start address, the
+  // explicit pad fixes the footprint inside arrays.
+  char pad_[kCacheLine - sizeof(std::atomic<T>) % kCacheLine];
+
+  T load(std::memory_order mo = std::memory_order_seq_cst) const noexcept {
+    return value.load(mo);
+  }
+  void store(T v, std::memory_order mo = std::memory_order_seq_cst) noexcept {
+    value.store(v, mo);
+  }
+};
+
+/// Plain padded value (non-atomic), for per-thread scratch in arrays.
+template <typename T>
+struct alignas(kCacheLine) Padded {
+  T value{};
+  char pad_[(sizeof(T) % kCacheLine) ? kCacheLine - sizeof(T) % kCacheLine : kCacheLine];
+};
+
+/// Polite busy-wait step: on the single-core containers this repo often runs
+/// in, pure spinning deadlocks progress, so after a few pause iterations we
+/// yield to the scheduler.
+inline void spin_pause(unsigned iteration) noexcept {
+  if (iteration < 4) {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  } else {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace tle

@@ -1,0 +1,41 @@
+// A reusable sense-reversing barrier that yields while waiting.
+//
+// std::barrier spins aggressively in some libstdc++ versions; on the
+// oversubscribed single-core machines this repo targets, yielding is
+// essential for forward progress in benchmarks.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "util/align.hpp"
+
+namespace tle {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties) noexcept
+      : parties_(parties), remaining_(parties) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Blocks until `parties` threads have arrived; reusable across phases.
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(parties_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      unsigned spin = 0;
+      while (sense_.load(std::memory_order_acquire) != my_sense) spin_pause(spin++);
+    }
+  }
+
+ private:
+  const std::size_t parties_;
+  std::atomic<std::size_t> remaining_;
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace tle

@@ -1,0 +1,31 @@
+// Environment-variable knobs for scaling benchmark workloads.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace tle {
+
+/// Read an integer knob from the environment, falling back to `def`.
+inline long env_long(const char* name, long def) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return def;
+  char* end = nullptr;
+  const long x = std::strtol(v, &end, 10);
+  return (end && *end == '\0') ? x : def;
+}
+
+inline double env_double(const char* name, double def) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return def;
+  char* end = nullptr;
+  const double x = std::strtod(v, &end);
+  return (end && *end == '\0') ? x : def;
+}
+
+inline std::string env_str(const char* name, const char* def) {
+  const char* v = std::getenv(name);
+  return v && *v ? std::string(v) : std::string(def);
+}
+
+}  // namespace tle

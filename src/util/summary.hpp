@@ -1,0 +1,86 @@
+// Running statistics and fixed-bucket histograms for benchmark reporting.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace tle {
+
+/// Streaming mean / min / max / stddev (Welford).
+class RunningStat {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+
+  void merge(const RunningStat& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double total = static_cast<double>(n_ + other.n_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) / total;
+    mean_ += delta * static_cast<double>(other.n_) / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 1e300;
+  double max_ = -1e300;
+};
+
+/// Power-of-two bucketed histogram (bucket i counts values in [2^i, 2^(i+1))).
+class Log2Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void add(std::uint64_t v) noexcept {
+    const int b = v == 0 ? 0 : 64 - __builtin_clzll(v);
+    ++buckets_[std::min(b, kBuckets - 1)];
+    ++total_;
+  }
+
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t bucket(int i) const noexcept { return buckets_[i]; }
+
+  /// Approximate quantile (returns upper bound of the containing bucket).
+  std::uint64_t quantile(double q) const noexcept {
+    std::uint64_t target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen > target) return i >= 63 ? ~0ULL : (1ULL << i);
+    }
+    return ~0ULL;
+  }
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace tle

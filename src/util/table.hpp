@@ -1,0 +1,66 @@
+// Plain-text table printer used by the benchmark harnesses to emit
+// paper-style result tables.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace tle {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Render to a string (columns padded with two-space gutters).
+  std::string render() const {
+    std::vector<std::size_t> width(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size() && i < width.size(); ++i)
+        if (cells[i].size() > width[i]) width[i] = cells[i].size();
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    std::string out;
+    auto emit = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < width.size(); ++i) {
+        const std::string& c = i < cells.size() ? cells[i] : std::string();
+        out += c;
+        out.append(width[i] - c.size() + 2, ' ');
+      }
+      while (!out.empty() && out.back() == ' ') out.pop_back();
+      out += '\n';
+    };
+    emit(header_);
+    std::vector<std::string> rule;
+    rule.reserve(width.size());
+    for (std::size_t w : width) rule.emplace_back(w, '-');
+    emit(rule);
+    for (const auto& r : rows_) emit(r);
+    return out;
+  }
+
+  void print() const { std::fputs(render().c_str(), stdout); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper that returns std::string (for table cells).
+inline std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+inline std::string strf(const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  return std::string(buf, buf + (n < 0 ? 0 : (n >= static_cast<int>(sizeof buf) ? static_cast<int>(sizeof buf) - 1 : n)));
+}
+
+}  // namespace tle

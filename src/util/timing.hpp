@@ -1,0 +1,39 @@
+// Wall-clock timing helpers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace tle {
+
+/// Monotonic stopwatch used by benchmarks and the quiescence-wait counters.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  std::uint64_t nanos() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - start_)
+            .count());
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Nanoseconds since an arbitrary epoch; cheap enough for per-event stamps.
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace tle

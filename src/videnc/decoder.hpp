@@ -1,0 +1,31 @@
+// Bitstream decoder for videnc streams.
+//
+// The encoder writes full prediction side-info (intra mode or motion
+// vector per 8x8 block), so the stream is completely decodable: this
+// decoder replays the prediction decisions serially in raster order and
+// reproduces the encoder's reconstruction planes BIT-EXACTLY — the
+// strongest possible end-to-end check of the parallel encoder (any
+// wavefront ordering bug, torn recon write, or entropy desync breaks the
+// equality).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "videnc/frame.hpp"
+
+namespace tle::videnc {
+
+struct DecodedVideo {
+  bool ok = false;
+  std::string error;
+  std::vector<Plane> frames;  ///< reconstructed planes, in frame order
+};
+
+/// Decode a bitstream produced by encode()/encode_planes(). `width` and
+/// `height` must match the encoder configuration.
+DecodedVideo decode_video(const std::vector<std::uint8_t>& bitstream,
+                          int width, int height);
+
+}  // namespace tle::videnc

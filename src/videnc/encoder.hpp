@@ -1,0 +1,68 @@
+// videnc — an x265-shaped wavefront video encoder (the paper's second
+// application). It reproduces the synchronization structure Section III
+// describes, with the same lock inventory:
+//
+//   * lookahead lock     — the raw-frame input queue and cost estimation
+//   * CTURows lock       — wavefront progress: each finished CTU wakes the
+//                          CTUs that depend on it (left / top-right)
+//   * EncoderRow lock    — shared per-row state while multiple threads work
+//                          within a frame (bits/progress publication)
+//   * bonded-task-group  — row-job allocation to worker threads
+//   * PME lock           — shared motion-vector candidates between rows
+//   * cost lock          — performance metadata/metrics accumulation
+//
+// plus frame-level parallelism (several frames in flight, inter prediction
+// waiting on the previous frame's reconstructed rows) and the paper's
+// Listing-4 ready-flag output queue (the refactoring that made the encoder
+// two-phase and hence transactionalizable).
+//
+// Everything synchronizes through tle::critical / tx_condvar, so the whole
+// encoder runs under all five paper configurations. Encoding is bit-exact
+// across modes and thread counts (integer math, deterministic decisions).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "videnc/frame.hpp"
+
+namespace tle::videnc {
+
+struct EncoderConfig {
+  int width = 320;
+  int height = 192;
+  int frames = 16;
+  int worker_threads = 4;  ///< WPP row workers (x265 "pool threads")
+  int frame_threads = 3;   ///< concurrent frames (x265 default in the paper)
+  int qp = 28;
+  int gop = 8;             ///< I-frame every `gop` frames
+  int slices = 1;          ///< independent slices per frame (§III parallelism)
+  int search_range = 8;    ///< motion search window (±pixels)
+  int lookahead_depth = 8; ///< lookahead queue capacity
+  std::uint64_t seed = 1;  ///< synthetic source seed
+  bool keep_recon = false; ///< retain per-frame reconstructions in the result
+};
+
+struct EncodeStats {
+  std::uint64_t frames = 0;
+  std::uint64_t bits = 0;          ///< total entropy-coded bits
+  std::uint64_t sad = 0;           ///< total prediction SAD
+  std::uint64_t sse = 0;           ///< total reconstruction SSE
+  double psnr = 0;                 ///< global PSNR (dB)
+  double seconds = 0;              ///< wall-clock encode time
+};
+
+struct EncodeResult {
+  std::vector<std::uint8_t> bitstream;  ///< concatenated frame payloads
+  EncodeStats stats;
+  std::vector<Plane> recon;  ///< filled when EncoderConfig::keep_recon
+};
+
+/// Encode `cfg.frames` synthetic frames.
+EncodeResult encode(const EncoderConfig& cfg);
+
+/// Encode caller-supplied planes (must all match cfg.width/height).
+EncodeResult encode_planes(const std::vector<Plane>& planes,
+                           const EncoderConfig& cfg);
+
+}  // namespace tle::videnc

@@ -1,0 +1,52 @@
+#include "videnc/frame.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace tle::videnc {
+
+Plane synth_frame(int width, int height, int frame_number, std::uint64_t seed) {
+  Plane p(width, height);
+  // Per-frame RNG: identical regardless of which thread generates it.
+  Xoshiro256 rng(seed * 1000003ULL + static_cast<std::uint64_t>(frame_number));
+  const int dx = (frame_number * 3) % width;
+  const int dy = (frame_number * 2) % height;
+  const int bx = (frame_number * 7) % (width > 32 ? width - 32 : 1);
+  const int by = (frame_number * 5) % (height > 32 ? height - 32 : 1);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      // A diagonally scrolling gradient...
+      int v = ((x + dx) * 2 + (y + dy) * 3) & 0xFF;
+      // ...with a bright moving block (motion for inter prediction to find)...
+      if (x >= bx && x < bx + 32 && y >= by && y < by + 32) v = (v + 96) & 0xFF;
+      // ...and low-amplitude noise so entropy coding has real work.
+      v += static_cast<int>(rng.below(8));
+      p.set(x, y, static_cast<std::uint8_t>(v > 255 ? 255 : v));
+    }
+  }
+  return p;
+}
+
+std::uint64_t plane_sse(const Plane& a, const Plane& b) {
+  std::uint64_t sse = 0;
+  const int h = a.height(), w = a.width();
+  for (int y = 0; y < h; ++y) {
+    const std::uint8_t* ra = a.row(y);
+    const std::uint8_t* rb = b.row(y);
+    for (int x = 0; x < w; ++x) {
+      const int d = static_cast<int>(ra[x]) - static_cast<int>(rb[x]);
+      sse += static_cast<std::uint64_t>(d * d);
+    }
+  }
+  return sse;
+}
+
+double psnr_from_sse(std::uint64_t sse, std::uint64_t samples) {
+  if (sse == 0) return 99.0;
+  const double mse =
+      static_cast<double>(sse) / static_cast<double>(samples ? samples : 1);
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace tle::videnc

@@ -1,0 +1,68 @@
+// Frames, planes, and the deterministic synthetic video source that stands
+// in for the paper's x265 input files (38 MB / 735 MB / 3810 MB clips).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tle::videnc {
+
+/// A luma plane (8-bit). Encoding works on luma only — chroma adds bulk,
+/// not synchronization structure.
+class Plane {
+ public:
+  Plane() = default;
+  Plane(int width, int height)
+      : w_(width), h_(height), data_(static_cast<std::size_t>(width) * height) {}
+
+  int width() const noexcept { return w_; }
+  int height() const noexcept { return h_; }
+
+  std::uint8_t at(int x, int y) const noexcept {
+    return data_[static_cast<std::size_t>(y) * w_ + x];
+  }
+  void set(int x, int y, std::uint8_t v) noexcept {
+    data_[static_cast<std::size_t>(y) * w_ + x] = v;
+  }
+
+  /// Clamped read: out-of-bounds coordinates are clipped to the edge
+  /// (used by motion compensation at frame borders).
+  std::uint8_t at_clamped(int x, int y) const noexcept {
+    x = x < 0 ? 0 : (x >= w_ ? w_ - 1 : x);
+    y = y < 0 ? 0 : (y >= h_ ? h_ - 1 : y);
+    return at(x, y);
+  }
+
+  const std::uint8_t* row(int y) const noexcept {
+    return data_.data() + static_cast<std::size_t>(y) * w_;
+  }
+  std::uint8_t* row(int y) noexcept {
+    return data_.data() + static_cast<std::size_t>(y) * w_;
+  }
+
+  bool operator==(const Plane& o) const = default;
+
+ private:
+  int w_ = 0, h_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+struct Frame {
+  int number = 0;
+  Plane luma;
+  bool intra_only = false;  ///< force I-frame (GOP boundary)
+  int qp = 28;              ///< quantizer (lookahead may adjust)
+  std::uint64_t cost_estimate = 0;  ///< filled by the lookahead stage
+};
+
+/// Deterministic synthetic clip: a moving gradient, a moving block, and
+/// seeded per-frame noise. Same (w, h, seed, frame number) -> same pixels.
+Plane synth_frame(int width, int height, int frame_number, std::uint64_t seed);
+
+/// Sum of squared errors between two planes (integer, order-independent).
+std::uint64_t plane_sse(const Plane& a, const Plane& b);
+
+/// PSNR in dB from SSE.
+double psnr_from_sse(std::uint64_t sse, std::uint64_t samples);
+
+}  // namespace tle::videnc

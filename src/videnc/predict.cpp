@@ -1,0 +1,112 @@
+#include "videnc/predict.hpp"
+
+namespace tle::videnc {
+
+namespace {
+
+/// Neighbour sample above the block, or 128 when unavailable (frame edge or
+/// slice boundary).
+std::uint8_t top_sample(const Plane& recon, int x, int y0, int min_y) {
+  if (y0 <= min_y || x < 0 || x >= recon.width()) return 128;
+  return recon.at(x, y0 - 1);
+}
+
+std::uint8_t left_sample(const Plane& recon, int x0, int y) {
+  if (x0 == 0 || y < 0 || y >= recon.height()) return 128;
+  return recon.at(x0 - 1, y);
+}
+
+}  // namespace
+
+void intra_predict(const Plane& recon, int x0, int y0, IntraMode mode,
+                   std::uint8_t pred[kBlockSize], int min_y, int max_y) {
+  switch (mode) {
+    case IntraMode::Dc: {
+      int sum = 0, n = 0;
+      for (int i = 0; i < kBlock; ++i) {
+        if (y0 > min_y) {
+          sum += top_sample(recon, x0 + i, y0, min_y);
+          ++n;
+        }
+        if (x0 > 0) {
+          sum += left_sample(recon, x0, y0 + i);
+          ++n;
+        }
+      }
+      const std::uint8_t dc =
+          n ? static_cast<std::uint8_t>((sum + n / 2) / n) : 128;
+      for (int i = 0; i < kBlockSize; ++i) pred[i] = dc;
+      break;
+    }
+    case IntraMode::Horizontal:
+      for (int y = 0; y < kBlock; ++y) {
+        const std::uint8_t l = left_sample(recon, x0, y0 + y);
+        for (int x = 0; x < kBlock; ++x) pred[y * kBlock + x] = l;
+      }
+      break;
+    case IntraMode::Vertical:
+      for (int x = 0; x < kBlock; ++x) {
+        const std::uint8_t t = top_sample(recon, x0 + x, y0, min_y);
+        for (int y = 0; y < kBlock; ++y) pred[y * kBlock + x] = t;
+      }
+      break;
+    case IntraMode::Planar:
+      for (int y = 0; y < kBlock; ++y) {
+        for (int x = 0; x < kBlock; ++x) {
+          const int t = top_sample(recon, x0 + x, y0, min_y);
+          const int l = left_sample(recon, x0, y0 + y);
+          const int tr = top_sample(recon, x0 + kBlock, y0, min_y);
+          const int bl = y0 + kBlock >= max_y
+                             ? 128
+                             : left_sample(recon, x0, y0 + kBlock);
+          const int h = (kBlock - 1 - x) * l + (x + 1) * tr;
+          const int v = (kBlock - 1 - y) * t + (y + 1) * bl;
+          pred[y * kBlock + x] =
+              static_cast<std::uint8_t>((h + v + kBlock) / (2 * kBlock));
+        }
+      }
+      break;
+  }
+}
+
+void motion_compensate(const Plane& ref, int x0, int y0, int mvx, int mvy,
+                       std::uint8_t pred[kBlockSize]) {
+  for (int y = 0; y < kBlock; ++y)
+    for (int x = 0; x < kBlock; ++x)
+      pred[y * kBlock + x] = ref.at_clamped(x0 + mvx + x, y0 + mvy + y);
+}
+
+std::uint32_t block_sad(const Plane& src, int x0, int y0,
+                        const std::uint8_t pred[kBlockSize]) {
+  std::uint32_t sad = 0;
+  for (int y = 0; y < kBlock; ++y) {
+    const std::uint8_t* row = src.row(y0 + y) + x0;
+    for (int x = 0; x < kBlock; ++x) {
+      const int d = static_cast<int>(row[x]) - pred[y * kBlock + x];
+      sad += static_cast<std::uint32_t>(d < 0 ? -d : d);
+    }
+  }
+  return sad;
+}
+
+MotionResult motion_search(const Plane& src, const Plane& ref, int x0, int y0,
+                           int predx, int predy, int range) {
+  MotionResult best;
+  std::uint8_t pred[kBlockSize];
+  for (int dy = -range; dy <= range; ++dy) {
+    for (int dx = -range; dx <= range; ++dx) {
+      const int mvx = predx + dx, mvy = predy + dy;
+      motion_compensate(ref, x0, y0, mvx, mvy, pred);
+      const std::uint32_t sad = block_sad(src, x0, y0, pred);
+      // Deterministic tie-break: strictly better wins; raster order decides.
+      if (sad < best.sad) {
+        best.sad = sad;
+        best.mvx = mvx;
+        best.mvy = mvy;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace tle::videnc

@@ -1,0 +1,45 @@
+// Intra prediction (DC / horizontal / vertical / planar) from reconstructed
+// neighbours, SAD cost, and full-search motion estimation against the
+// previous reconstructed frame.
+#pragma once
+
+#include <cstdint>
+
+#include "videnc/frame.hpp"
+#include "videnc/transform.hpp"
+
+namespace tle::videnc {
+
+enum class IntraMode : std::uint8_t { Dc = 0, Horizontal, Vertical, Planar };
+inline constexpr int kIntraModes = 4;
+
+/// Predict the 8x8 block at (x0, y0) from `recon`'s already-reconstructed
+/// top/left neighbours. Out-of-frame neighbours read as 128 (DC default).
+/// `min_y`/`max_y` bound the enclosing slice's pixel rows: samples outside
+/// [min_y, max_y) belong to other (independently processed) slices and are
+/// treated as unavailable — required both for slice independence and for
+/// schedule-independent (deterministic) output.
+void intra_predict(const Plane& recon, int x0, int y0, IntraMode mode,
+                   std::uint8_t pred[kBlockSize], int min_y = 0,
+                   int max_y = 1 << 28);
+
+/// Fetch the motion-compensated 8x8 block at (x0+mvx, y0+mvy) from `ref`
+/// (edge-clamped).
+void motion_compensate(const Plane& ref, int x0, int y0, int mvx, int mvy,
+                       std::uint8_t pred[kBlockSize]);
+
+/// Sum of absolute differences between the source block and a prediction.
+std::uint32_t block_sad(const Plane& src, int x0, int y0,
+                        const std::uint8_t pred[kBlockSize]);
+
+struct MotionResult {
+  int mvx = 0;
+  int mvy = 0;
+  std::uint32_t sad = ~0u;
+};
+
+/// Full search in [-range, range]² around (predx, predy).
+MotionResult motion_search(const Plane& src, const Plane& ref, int x0, int y0,
+                           int predx, int predy, int range);
+
+}  // namespace tle::videnc

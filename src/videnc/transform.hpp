@@ -1,0 +1,55 @@
+// 8×8 integer transform, quantization, zigzag scan, and Exp-Golomb entropy
+// coding — the pixel-math substrate of the encoder. All integer arithmetic:
+// encode results are bit-exact regardless of thread schedule.
+//
+// The butterfly-free matrix DCT below is the kind of kernel x265 vectorizes
+// with SSE; in the paper those calls needed the transaction_pure annotation
+// (Section VI-e). Here they run inside tle::tm_pure for the same reason:
+// they touch only private data and need no instrumentation.
+#pragma once
+
+#include <cstdint>
+
+#include "bzip/bitio.hpp"
+
+namespace tle::videnc {
+
+inline constexpr int kBlock = 8;
+inline constexpr int kBlockSize = kBlock * kBlock;
+
+/// Forward 8x8 integer DCT (scaled); in/out are row-major 64-element arrays.
+void fdct8x8(const std::int16_t in[kBlockSize], std::int32_t out[kBlockSize]);
+
+/// Inverse of fdct8x8 (including the scale compensation).
+void idct8x8(const std::int32_t in[kBlockSize], std::int16_t out[kBlockSize]);
+
+/// Quantization step for a qp (H.26x-flavoured: step doubles every 6 qp).
+std::int32_t quant_step(int qp);
+
+/// Quantize/dequantize coefficient arrays in place.
+void quantize(std::int32_t coeffs[kBlockSize], std::int32_t step);
+void dequantize(std::int32_t coeffs[kBlockSize], std::int32_t step);
+
+/// Zigzag scan order for 8x8 blocks.
+extern const std::uint8_t kZigzag[kBlockSize];
+
+/// Write the quantized coefficients of one block: zigzag order, zero-run +
+/// signed Exp-Golomb level coding, terminated by an end-of-block run.
+/// Returns the number of bits written.
+std::size_t entropy_encode_block(const std::int32_t coeffs[kBlockSize],
+                                 bzip::BitWriter& bw);
+
+/// Inverse of entropy_encode_block. Returns false on malformed input.
+bool entropy_decode_block(bzip::BitReader& br, std::int32_t coeffs[kBlockSize]);
+
+// --- Exp-Golomb primitives (shared by block and header coding) --------------
+
+/// Unsigned Exp-Golomb code; returns bits written.
+std::size_t put_ue(bzip::BitWriter& bw, std::uint32_t v);
+bool get_ue(bzip::BitReader& br, std::uint32_t* v);
+
+/// Signed Exp-Golomb (zigzag-mapped); returns bits written.
+std::size_t put_se(bzip::BitWriter& bw, std::int32_t v);
+bool get_se(bzip::BitReader& br, std::int32_t* v);
+
+}  // namespace tle::videnc

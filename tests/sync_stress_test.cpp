@@ -1,0 +1,162 @@
+// Heavier stress for the synchronization layer: many waiters and notifiers
+// across several condvars, queue churn with frequent full/empty boundary
+// crossings, the new fetch_add helper, and quiescence wait-time accounting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "sync/bounded_queue.hpp"
+#include "sync/tx_condvar.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace tle {
+namespace {
+
+using testing::kAllModes;
+using testing::ModeGuard;
+using testing::run_threads;
+
+class StressModes : public ::testing::TestWithParam<ExecMode> {};
+
+INSTANTIATE_TEST_SUITE_P(SyncStress, StressModes, ::testing::ValuesIn(kAllModes),
+                         [](const auto& info) {
+                           std::string s = to_string(info.param);
+                           for (auto& c : s)
+                             if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+                           return s;
+                         });
+
+TEST_P(StressModes, TokenRingAcrossCondvars) {
+  // A token circulates through N stations, each with its own condvar —
+  // every hop is a wait/notify pair. Total hops must be exact.
+  ModeGuard g(GetParam());
+  constexpr int kStations = 4;
+  constexpr int kRounds = 200;
+  elidable_mutex m;
+  tx_condvar cvs[kStations];
+  tm_var<int> station(0);
+  tm_var<int> hops(0);
+
+  run_threads(kStations, [&](int id) {
+    for (;;) {
+      bool done = false, mine = false;
+      critical(m, [&](TxContext& tx) {
+        const int total = tx.read(hops);
+        if (total >= kStations * kRounds) {
+          done = true;
+          // Wake everyone so all stations can observe completion.
+          for (auto& cv : cvs) cv.notify_all(tx);
+          return;
+        }
+        if (tx.read(station) == id) {
+          tx.write(station, (id + 1) % kStations);
+          tx.fetch_add(hops, 1);
+          cvs[(id + 1) % kStations].notify_one(tx);
+          mine = true;
+        } else {
+          cvs[id].wait_for(tx, std::chrono::milliseconds(2));
+        }
+      });
+      if (done) break;
+      (void)mine;
+    }
+  });
+  EXPECT_EQ(hops.unsafe_get(), kStations * kRounds);
+}
+
+TEST_P(StressModes, TinyQueueConstantBoundaryCrossings) {
+  // Capacity-2 queue: producers and consumers hit full/empty constantly,
+  // maximizing wait/notify traffic.
+  ModeGuard g(GetParam());
+  bounded_queue<long> q(2);
+  constexpr long kItems = 2000;
+  std::atomic<long> sum{0};
+  run_threads(4, [&](int t) {
+    if (t < 2) {
+      for (long i = t; i < kItems; i += 2) ASSERT_TRUE(q.push(i + 1));
+      return;
+    }
+    for (;;) {
+      auto v = q.pop();
+      if (!v.has_value()) break;
+      if (sum.fetch_add(*v) + *v == kItems * (kItems + 1) / 2) q.close();
+    }
+  });
+  EXPECT_EQ(sum.load(), kItems * (kItems + 1) / 2);
+}
+
+TEST_P(StressModes, FetchAddIsAtomicSugar) {
+  ModeGuard g(GetParam());
+  tm_var<long> counter(100);
+  std::atomic<long> observed_olds{0};
+  run_threads(4, [&](int) {
+    for (int i = 0; i < 500; ++i) {
+      long old = 0;
+      atomic_do([&](TxContext& tx) { old = tx.fetch_add(counter, 2L); });
+      observed_olds.fetch_add(old >= 100 ? 1 : 0);
+    }
+  });
+  EXPECT_EQ(counter.unsafe_get(), 100 + 4 * 500 * 2);
+  EXPECT_EQ(observed_olds.load(), 2000) << "old values must never undershoot";
+}
+
+TEST(QuiesceAccounting, BlockedTimeIsRecorded) {
+  ModeGuard g(ExecMode::StmCondVar);  // Always quiesce
+  reset_stats();
+  tm_var<long> v(0);
+  std::atomic<bool> peer_open{false}, release{false};
+  std::thread peer([&] {
+    atomic_do([&](TxContext& tx) {
+      (void)tx.read(v);
+      peer_open.store(true);
+      while (!release.load(std::memory_order_relaxed))
+        std::this_thread::yield();
+    });
+  });
+  while (!peer_open.load()) std::this_thread::yield();
+
+  std::thread committer([&] {
+    // This commit must quiesce and block on the open peer.
+    atomic_do([&](TxContext& tx) { tx.write(v, 1L); });
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  release.store(true);
+  peer.join();
+  committer.join();
+  const auto s = aggregate_stats();
+  EXPECT_GE(s.quiesce_waits, 1u);
+  EXPECT_GE(s.quiesce_wait_ns, 10u * 1000 * 1000)
+      << "~30ms of blocking must be visible in the counter";
+}
+
+TEST(CondVarChurn, ManyCondvarsManyThreads) {
+  ModeGuard g(ExecMode::StmCondVarNoQ);
+  constexpr int kCvs = 8;
+  elidable_mutex m;
+  tx_condvar cvs[kCvs];
+  tm_var<int> turn(0);
+  std::atomic<int> completed{0};
+  run_threads(6, [&](int t) {
+    Xoshiro256 rng(300 + static_cast<unsigned>(t));
+    for (int i = 0; i < 300; ++i) {
+      const int cv = static_cast<int>(rng.below(kCvs));
+      critical(m, [&](TxContext& tx) {
+        tx.fetch_add(turn, 1);
+        if (rng.chance(0.3))
+          cvs[cv].notify_all(tx);
+        else if (rng.chance(0.2))
+          cvs[cv].wait_for(tx, std::chrono::microseconds(200));
+        else
+          cvs[cv].notify_one(tx);
+        tx.no_quiesce();
+      });
+    }
+    completed.fetch_add(1);
+  });
+  EXPECT_EQ(completed.load(), 6);
+  EXPECT_EQ(turn.unsafe_get(), 6 * 300);
+}
+
+}  // namespace
+}  // namespace tle

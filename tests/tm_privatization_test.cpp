@@ -1,0 +1,163 @@
+// Privatization-safety stress tests (paper Section IV, Listings 1–2).
+//
+// The scenario quiescence exists for: a thread transactionally detaches
+// ("privatizes") shared data, then accesses it non-transactionally. Without
+// quiescence, a concurrently-running doomed transaction could still perform
+// write-through speculative stores or undo stores into the privatized
+// memory, racing with the private accesses. With quiescence (GCC's
+// post-2016 behaviour, our QuiescePolicy::Always), the privatizer's commit
+// waits until every concurrent transaction has committed or fully undone.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "sync/bounded_queue.hpp"
+#include "test_support.hpp"
+
+namespace tle {
+namespace {
+
+using testing::ModeGuard;
+using testing::run_threads;
+
+/// Optimizer-proof value sink.
+inline void sink(long v) { asm volatile("" : : "r"(v) : "memory"); }
+
+/// A pair kept equal by transactional updaters; privatizers detach the box
+/// and verify/mutate it non-transactionally.
+struct Box {
+  tm_var<long> a{0};
+  tm_var<long> b{0};
+};
+
+class PrivatizationStress : public ::testing::TestWithParam<ExecMode> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Tm, PrivatizationStress,
+    ::testing::Values(ExecMode::StmCondVar, ExecMode::StmCondVarNoQ,
+                      ExecMode::Htm),
+    [](const auto& info) {
+      std::string s = to_string(info.param);
+      for (auto& c : s)
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      return s;
+    });
+
+TEST_P(PrivatizationStress, DetachedBoxNeverRacesWithZombies) {
+  ModeGuard g(GetParam());
+  tm_var<Box*> current(new Box);
+  std::atomic<bool> stop{false};
+  std::atomic<long> violations{0};
+
+  // Updaters: keep (a == b) inside the currently-installed box.
+  auto updater = [&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      atomic_do([&](TxContext& tx) {
+        Box* box = tx.read(current);
+        const long v = tx.read(box->a) + 1;
+        tx.write(box->a, v);
+        tx.write(box->b, v);
+      });
+    }
+  };
+
+  // Privatizer: swap in a fresh box, then use the old one privately.
+  auto privatizer = [&] {
+    for (int i = 0; i < 300 && !stop.load(); ++i) {
+      Box* fresh = new Box;
+      Box* old = nullptr;
+      atomic_do([&](TxContext& tx) {
+        old = tx.read(current);
+        tx.write(current, fresh);
+      });
+      // Post-commit (and post-quiescence): `old` is private. Any zombie
+      // write-through or undo store arriving now would break a == b or
+      // clobber our private mutations.
+      for (int k = 0; k < 50; ++k) {
+        const long a = old->a.unsafe_get();
+        const long b = old->b.unsafe_get();
+        if (a != b) violations.fetch_add(1);
+        old->a.unsafe_set(a + 1);
+        old->b.unsafe_set(a + 1);
+      }
+      delete old;  // memory reuse makes latent zombie writes crash loudly
+    }
+    stop.store(true);
+  };
+
+  std::thread t1(updater), t2(updater), t3(privatizer);
+  t1.join();
+  t2.join();
+  t3.join();
+  delete current.unsafe_get();
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST_P(PrivatizationStress, TransactionalFreeOfHotNodeIsSafe) {
+  // Remove-and-free under contention: the committing remover must quiesce
+  // before the node is recycled (the §IV-B allocator rule), even in the
+  // NoQuiesce-honoring mode.
+  ModeGuard g(GetParam());
+  struct Node {
+    tm_var<long> value{0};
+  };
+  tm_var<Node*> slot(nullptr);
+  std::atomic<bool> stop{false};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      atomic_do([&](TxContext& tx) {
+        tx.no_quiesce();
+        Node* n = tx.read(slot);
+        if (n) {
+          // Dereference inside the transaction: if a free raced ahead of a
+          // zombie, ASan/valgrind (and likely a crash) would catch it.
+          sink(tx.read(n->value));
+        }
+      });
+    }
+  });
+
+  for (int i = 0; i < 2000; ++i) {
+    atomic_do([&](TxContext& tx) {
+      Node* n = tx.create<Node>();
+      n->value.unsafe_set(i);
+      tx.write(slot, n);
+    });
+    atomic_do([&](TxContext& tx) {
+      Node* n = tx.read(slot);
+      tx.write(slot, static_cast<Node*>(nullptr));
+      if (n) tx.destroy(n);  // forces quiescence before the free
+    });
+  }
+  stop.store(true);
+  reader.join();
+  SUCCEED();
+}
+
+TEST(Privatization, FenceAllowsManualPublication) {
+  ModeGuard g(ExecMode::StmCondVar);
+  tm_var<int> flag(0);
+  atomic_do([&](TxContext& tx) { tx.write(flag, 1); });
+  tm_fence();  // all transactions drained: non-tx access is now safe
+  EXPECT_EQ(flag.unsafe_get(), 1);
+}
+
+TEST(Privatization, Listing2QueueShapeHonorsNoQuiesceAsymmetry) {
+  // Producer transactions request NoQuiesce (never privatize); consumer
+  // pops do not (they privatize). Verify via counters in the honoring mode.
+  ModeGuard g(ExecMode::StmCondVarNoQ);
+  bounded_queue<long> q(8);
+  reset_stats();
+  for (long i = 0; i < 4; ++i) q.push(i);
+  const auto after_push = aggregate_stats();
+  EXPECT_EQ(after_push.quiesce_calls, 0u) << "producers must not quiesce";
+  EXPECT_GE(after_push.noquiesce_honored, 4u);
+  for (long i = 0; i < 4; ++i) ASSERT_TRUE(q.pop().has_value());
+  const auto after_pop = aggregate_stats();
+  EXPECT_GE(after_pop.quiesce_calls, 4u)
+      << "successful pops privatize and must quiesce";
+}
+
+}  // namespace
+}  // namespace tle

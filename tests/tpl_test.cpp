@@ -1,0 +1,183 @@
+// Tests for the two-phase-locking discipline monitor, including the paper's
+// Listing-3 (violating) and Listing-4 (ready-flag fix) producer patterns.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <thread>
+
+#include "test_support.hpp"
+#include "tpl/discipline.hpp"
+
+namespace tle::tpl {
+namespace {
+
+TEST(Discipline, SingleLockSessionIsClean) {
+  DisciplineMonitor mon;
+  MonitoredMutex a(mon, "A");
+  for (int i = 0; i < 3; ++i) {
+    a.lock();
+    a.unlock();
+  }
+  EXPECT_TRUE(mon.clean());
+  const auto r = mon.report();
+  EXPECT_EQ(r.sessions, 3u);
+  EXPECT_EQ(r.acquires, 3u);
+  EXPECT_EQ(r.max_nesting, 1u);
+}
+
+TEST(Discipline, ProperNestingIsTwoPhase) {
+  DisciplineMonitor mon;
+  MonitoredMutex a(mon, "A"), b(mon, "B");
+  a.lock();
+  b.lock();
+  b.unlock();
+  a.unlock();
+  EXPECT_TRUE(mon.clean());
+  EXPECT_EQ(mon.report().max_nesting, 2u);
+}
+
+TEST(Discipline, HandOverHandViolates) {
+  // A+ B+ A- C+ ... : acquiring C after releasing A breaks 2PL.
+  DisciplineMonitor mon;
+  MonitoredMutex a(mon, "A"), b(mon, "B"), c(mon, "C");
+  a.lock();
+  b.lock();
+  a.unlock();
+  c.lock();  // violation: acquire in the shrinking phase
+  c.unlock();
+  b.unlock();
+  EXPECT_FALSE(mon.clean());
+  const auto r = mon.report();
+  EXPECT_EQ(r.violations, 1u);
+  ASSERT_EQ(r.samples.size(), 1u);
+  EXPECT_EQ(r.samples[0].lock_name, "C");
+}
+
+TEST(Discipline, SessionBoundaryResetsPhase) {
+  // Release-all then acquire again is a NEW session, not a violation.
+  DisciplineMonitor mon;
+  MonitoredMutex a(mon, "A"), b(mon, "B");
+  a.lock();
+  a.unlock();
+  b.lock();
+  b.unlock();
+  EXPECT_TRUE(mon.clean());
+  EXPECT_EQ(mon.report().sessions, 2u);
+}
+
+TEST(Discipline, ReacquireSameLockAfterReleaseWithinSessionViolates) {
+  DisciplineMonitor mon;
+  MonitoredMutex a(mon, "A"), b(mon, "B");
+  a.lock();
+  b.lock();
+  b.unlock();
+  b.lock();  // second growing phase: violation
+  b.unlock();
+  a.unlock();
+  EXPECT_EQ(mon.report().violations, 1u);
+}
+
+TEST(Discipline, ResetClearsEverything) {
+  DisciplineMonitor mon;
+  MonitoredMutex a(mon, "A"), b(mon, "B");
+  a.lock();
+  b.lock();
+  a.unlock();
+  b.unlock();
+  b.lock();  // trigger bookkeeping
+  b.unlock();
+  mon.reset();
+  const auto r = mon.report();
+  EXPECT_EQ(r.sessions, 0u);
+  EXPECT_EQ(r.acquires, 0u);
+  EXPECT_EQ(r.violations, 0u);
+}
+
+TEST(Discipline, PerThreadSessionsAreIndependent) {
+  DisciplineMonitor mon;
+  MonitoredMutex a(mon, "A"), b(mon, "B");
+  // Two threads interleaving their own clean sessions must not produce
+  // cross-thread false positives.
+  tle::testing::run_threads(2, [&](int t) {
+    for (int i = 0; i < 200; ++i) {
+      if (t == 0) {
+        a.lock();
+        a.unlock();
+      } else {
+        b.lock();
+        b.unlock();
+      }
+    }
+  });
+  EXPECT_TRUE(mon.clean());
+  EXPECT_EQ(mon.report().sessions, 400u);
+}
+
+// ---------------------------------------------------------------------------
+// The paper's Listing 3 vs Listing 4 — a producer filling a queue while
+// communicating through inner critical sections.
+// ---------------------------------------------------------------------------
+
+struct MiniQueue {
+  int items[16] = {};
+  bool ready[16] = {};
+  int tail = 0;
+  int head = 0;
+};
+
+TEST(Discipline, Listing3NonTwoPhaseProducerIsFlagged) {
+  // Listing 3: the producer holds the output-queue lock across the entire
+  // produce stage, taking inner locks meanwhile — and the inner
+  // communication releases/reacquires, breaking 2PL.
+  DisciplineMonitor mon;
+  MonitoredMutex out_queue(mon, "outQ"), comm(mon, "comm");
+  MiniQueue q;
+
+  out_queue.lock();         // growing
+  q.items[q.tail] = 42;     // produce element under the queue lock
+  comm.lock();              // inner critical section (still growing)
+  comm.unlock();            // shrinking begins
+  comm.lock();              // inter-thread communication re-acquires: NOT 2PL
+  comm.unlock();
+  q.tail++;
+  out_queue.unlock();
+
+  EXPECT_FALSE(mon.clean());
+  EXPECT_GE(mon.report().violations, 1u);
+}
+
+TEST(Discipline, Listing4ReadyFlagRefactoringIsTwoPhase) {
+  // Listing 4: enqueue a not-ready element, unlock, produce outside the
+  // lock, then re-lock to set the ready flag. Every session is 2PL.
+  DisciplineMonitor mon;
+  MonitoredMutex out_queue(mon, "outQ"), comm(mon, "comm");
+  MiniQueue q;
+
+  int slot = 0;
+  out_queue.lock();
+  slot = q.tail++;
+  q.ready[slot] = false;
+  out_queue.unlock();
+
+  comm.lock();  // produce stage communicates via its own sessions
+  comm.unlock();
+  q.items[slot] = 42;
+
+  out_queue.lock();
+  q.ready[slot] = true;
+  out_queue.unlock();
+
+  // Consumer side: dequeue only if head element is ready.
+  std::optional<int> got;
+  out_queue.lock();
+  if (q.head < q.tail && q.ready[q.head]) got = q.items[q.head++];
+  out_queue.unlock();
+
+  EXPECT_TRUE(mon.clean());
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 42);
+  EXPECT_EQ(mon.report().sessions, 4u);
+}
+
+}  // namespace
+}  // namespace tle::tpl

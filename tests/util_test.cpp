@@ -1,0 +1,202 @@
+// Tests for the util module: RNG determinism and distribution, running
+// statistics, histograms, the text table renderer, the spin barrier, and
+// environment knobs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/barrier.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/summary.hpp"
+#include "util/table.hpp"
+#include "util/timing.hpp"
+
+namespace tle {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a() == b();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(17), 17u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversAllBuckets) {
+  Xoshiro256 rng(8);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Xoshiro256 rng(10);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.chance(0.25);
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, SplitmixAdvancesState) {
+  std::uint64_t s = 5;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// RunningStat / histogram
+// ---------------------------------------------------------------------------
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.01);  // sample stddev
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, MergeEqualsCombinedStream) {
+  RunningStat a, b, all;
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform() * 100;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Log2Histogram, BucketsAndQuantiles) {
+  Log2Histogram h;
+  for (std::uint64_t i = 0; i < 1000; ++i) h.add(i);
+  EXPECT_EQ(h.total(), 1000u);
+  EXPECT_LE(h.quantile(0.5), 1024u);
+  EXPECT_GE(h.quantile(0.99), 512u);
+}
+
+// ---------------------------------------------------------------------------
+// TextTable
+// ---------------------------------------------------------------------------
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "23456"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Every line trims trailing spaces.
+  for (std::size_t pos = 0; (pos = out.find(" \n", pos)) != std::string::npos;)
+    FAIL() << "trailing whitespace in rendered table";
+}
+
+TEST(TextTable, StrfFormats) {
+  EXPECT_EQ(strf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(strf("%.2f", 1.005), "1.00");
+}
+
+// ---------------------------------------------------------------------------
+// SpinBarrier
+// ---------------------------------------------------------------------------
+
+TEST(SpinBarrier, PhasesStaySynchronized) {
+  constexpr int kThreads = 4;
+  constexpr int kPhases = 50;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> phase_counts[kPhases] = {};
+  std::vector<std::thread> ts;
+  std::atomic<bool> violation{false};
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int p = 0; p < kPhases; ++p) {
+        phase_counts[p].fetch_add(1);
+        barrier.arrive_and_wait();
+        // After the barrier, the whole phase must be accounted for.
+        if (phase_counts[p].load() != kThreads) violation.store(true);
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_FALSE(violation.load());
+}
+
+// ---------------------------------------------------------------------------
+// Env knobs
+// ---------------------------------------------------------------------------
+
+TEST(Env, ParsesAndDefaults) {
+  ::setenv("TLE_TEST_KNOB", "123", 1);
+  EXPECT_EQ(env_long("TLE_TEST_KNOB", 7), 123);
+  ::setenv("TLE_TEST_KNOB", "not-a-number", 1);
+  EXPECT_EQ(env_long("TLE_TEST_KNOB", 7), 7);
+  ::unsetenv("TLE_TEST_KNOB");
+  EXPECT_EQ(env_long("TLE_TEST_KNOB", 7), 7);
+  ::setenv("TLE_TEST_KNOB", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("TLE_TEST_KNOB", 1.0), 2.5);
+  ::setenv("TLE_TEST_KNOB", "abc", 1);
+  EXPECT_EQ(env_str("TLE_TEST_KNOB", "z"), "abc");
+  ::unsetenv("TLE_TEST_KNOB");
+  EXPECT_EQ(env_str("TLE_TEST_KNOB", "z"), "z");
+}
+
+// ---------------------------------------------------------------------------
+// Stopwatch
+// ---------------------------------------------------------------------------
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(sw.seconds(), 0.015);
+  EXPECT_GE(sw.nanos(), 15u * 1000 * 1000);
+  sw.reset();
+  EXPECT_LT(sw.seconds(), 0.015);
+}
+
+}  // namespace
+}  // namespace tle

@@ -1,0 +1,329 @@
+// Tests for the videnc encoder substrate: transform/entropy unit tests,
+// prediction correctness, wavefront scheduling order, encoder determinism
+// across modes and thread counts, and quality sanity.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "test_support.hpp"
+#include "videnc/encoder.hpp"
+#include "videnc/predict.hpp"
+#include "videnc/transform.hpp"
+#include "util/rng.hpp"
+
+namespace tle::videnc {
+namespace {
+
+using tle::testing::kAllModes;
+using tle::testing::ModeGuard;
+
+// ---------------------------------------------------------------------------
+// Transform
+// ---------------------------------------------------------------------------
+
+TEST(Transform, DctOfFlatBlockIsDcOnly) {
+  std::int16_t in[kBlockSize];
+  std::fill(in, in + kBlockSize, std::int16_t{100});
+  std::int32_t out[kBlockSize];
+  fdct8x8(in, out);
+  EXPECT_NEAR(out[0], 800, 2);  // DC = 8 * value for orthonormal DCT
+  for (int i = 1; i < kBlockSize; ++i) EXPECT_LE(std::abs(out[i]), 1) << i;
+}
+
+TEST(Transform, DctIdctRoundTripIsNearLossless) {
+  Xoshiro256 rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::int16_t in[kBlockSize];
+    for (auto& v : in)
+      v = static_cast<std::int16_t>(static_cast<int>(rng.below(511)) - 255);
+    std::int32_t freq[kBlockSize];
+    fdct8x8(in, freq);
+    std::int16_t back[kBlockSize];
+    idct8x8(freq, back);
+    for (int i = 0; i < kBlockSize; ++i)
+      ASSERT_NEAR(back[i], in[i], 2) << "trial " << trial << " i " << i;
+  }
+}
+
+TEST(Transform, QuantStepGrowsWithQp) {
+  EXPECT_GE(quant_step(0), 1);
+  EXPECT_LT(quant_step(10), quant_step(22));
+  EXPECT_LT(quant_step(22), quant_step(34));
+  EXPECT_EQ(quant_step(22) * 4, quant_step(34)) << "doubles every 6 qp";
+}
+
+TEST(Transform, QuantizeDequantizeBoundsError) {
+  Xoshiro256 rng(2);
+  const std::int32_t step = quant_step(28);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::int32_t c[kBlockSize], orig[kBlockSize];
+    for (int i = 0; i < kBlockSize; ++i)
+      orig[i] = c[i] = static_cast<std::int32_t>(rng.below(4000)) - 2000;
+    quantize(c, step);
+    dequantize(c, step);
+    for (int i = 0; i < kBlockSize; ++i)
+      ASSERT_LE(std::abs(c[i] - orig[i]), step / 2 + 1);
+  }
+}
+
+TEST(Transform, ZigzagIsAPermutation) {
+  bool seen[kBlockSize] = {};
+  for (int i = 0; i < kBlockSize; ++i) {
+    ASSERT_LT(kZigzag[i], kBlockSize);
+    ASSERT_FALSE(seen[kZigzag[i]]) << "duplicate at " << i;
+    seen[kZigzag[i]] = true;
+  }
+  // Low-frequency coefficients come first.
+  EXPECT_EQ(kZigzag[0], 0);
+  EXPECT_EQ(kZigzag[1], 1);
+  EXPECT_EQ(kZigzag[2], 8);
+}
+
+TEST(Transform, EntropyRoundTripSparseAndDense) {
+  Xoshiro256 rng(3);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::int32_t coeffs[kBlockSize] = {};
+    const int nz = static_cast<int>(rng.below(trial % 2 ? 64 : 6));
+    for (int k = 0; k < nz; ++k)
+      coeffs[rng.below(kBlockSize)] =
+          static_cast<std::int32_t>(rng.below(199)) - 99;
+    // Note: values may be 0 — that is fine, they are just not coded.
+    bzip::BitWriter bw;
+    const std::size_t bits = entropy_encode_block(coeffs, bw);
+    EXPECT_GT(bits, 0u);
+    auto buf = bw.finish();
+    bzip::BitReader br(buf.data(), buf.size());
+    std::int32_t back[kBlockSize];
+    ASSERT_TRUE(entropy_decode_block(br, back)) << trial;
+    for (int i = 0; i < kBlockSize; ++i)
+      ASSERT_EQ(back[i], coeffs[i]) << "trial " << trial << " i " << i;
+  }
+}
+
+TEST(Transform, EntropyAllZeroBlockIsTiny) {
+  std::int32_t coeffs[kBlockSize] = {};
+  bzip::BitWriter bw;
+  const std::size_t bits = entropy_encode_block(coeffs, bw);
+  EXPECT_LE(bits, 16u) << "empty block must cost only the EOB";
+}
+
+TEST(Transform, EntropyDecodeRejectsGarbage) {
+  // All-ones bitstream decodes runs of 0 forever -> position overrun.
+  std::vector<std::uint8_t> junk(16, 0xFF);
+  bzip::BitReader br(junk.data(), junk.size());
+  std::int32_t c[kBlockSize];
+  EXPECT_FALSE(entropy_decode_block(br, c));
+}
+
+// ---------------------------------------------------------------------------
+// Prediction
+// ---------------------------------------------------------------------------
+
+TEST(Predict, DcModeAveragesNeighbours) {
+  Plane recon(32, 32);
+  for (int x = 0; x < 32; ++x) recon.set(x, 7, 100);   // row above y0=8
+  for (int y = 0; y < 32; ++y) recon.set(7, y, 200);   // column left of x0=8
+  std::uint8_t pred[kBlockSize];
+  intra_predict(recon, 8, 8, IntraMode::Dc, pred);
+  for (auto p : pred) EXPECT_EQ(p, 150);
+}
+
+TEST(Predict, VerticalCopiesTopRow) {
+  Plane recon(32, 32);
+  for (int x = 0; x < 32; ++x) recon.set(x, 7, static_cast<std::uint8_t>(x));
+  std::uint8_t pred[kBlockSize];
+  intra_predict(recon, 8, 8, IntraMode::Vertical, pred);
+  for (int y = 0; y < kBlock; ++y)
+    for (int x = 0; x < kBlock; ++x)
+      EXPECT_EQ(pred[y * kBlock + x], 8 + x);
+}
+
+TEST(Predict, HorizontalCopiesLeftColumn) {
+  Plane recon(32, 32);
+  for (int y = 0; y < 32; ++y) recon.set(7, y, static_cast<std::uint8_t>(2 * y));
+  std::uint8_t pred[kBlockSize];
+  intra_predict(recon, 8, 8, IntraMode::Horizontal, pred);
+  for (int y = 0; y < kBlock; ++y)
+    for (int x = 0; x < kBlock; ++x)
+      EXPECT_EQ(pred[y * kBlock + x], 2 * (8 + y));
+}
+
+TEST(Predict, BorderBlocksDefaultTo128) {
+  Plane recon(32, 32);
+  std::uint8_t pred[kBlockSize];
+  intra_predict(recon, 0, 0, IntraMode::Dc, pred);
+  for (auto p : pred) EXPECT_EQ(p, 128);
+}
+
+TEST(Predict, MotionSearchFindsExactShift) {
+  // ref shifted by (+3, -2) must be found with zero SAD.
+  Plane ref(64, 64), src(64, 64);
+  Xoshiro256 rng(4);
+  for (int y = 0; y < 64; ++y)
+    for (int x = 0; x < 64; ++x)
+      ref.set(x, y, static_cast<std::uint8_t>(rng()));
+  for (int y = 0; y < 64; ++y)
+    for (int x = 0; x < 64; ++x)
+      src.set(x, y, ref.at_clamped(x + 3, y - 2));
+  const MotionResult mr = motion_search(src, ref, 24, 24, 0, 0, 8);
+  EXPECT_EQ(mr.mvx, 3);
+  EXPECT_EQ(mr.mvy, -2);
+  EXPECT_EQ(mr.sad, 0u);
+}
+
+TEST(Predict, SadIsZeroForPerfectPrediction) {
+  Plane src(16, 16);
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 16; ++x) src.set(x, y, 55);
+  std::uint8_t pred[kBlockSize];
+  std::fill(pred, pred + kBlockSize, std::uint8_t{55});
+  EXPECT_EQ(block_sad(src, 0, 0, pred), 0u);
+  pred[0] = 60;
+  EXPECT_EQ(block_sad(src, 0, 0, pred), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Frame source
+// ---------------------------------------------------------------------------
+
+TEST(FrameSource, DeterministicPerFrame) {
+  const Plane a = synth_frame(64, 48, 3, 7);
+  const Plane b = synth_frame(64, 48, 3, 7);
+  EXPECT_EQ(a, b);
+  const Plane c = synth_frame(64, 48, 4, 7);
+  EXPECT_NE(a, c);
+}
+
+TEST(FrameSource, PsnrMath) {
+  EXPECT_EQ(psnr_from_sse(0, 100), 99.0);
+  const double p1 = psnr_from_sse(100, 10000);
+  const double p2 = psnr_from_sse(1000, 10000);
+  EXPECT_GT(p1, p2);
+}
+
+// ---------------------------------------------------------------------------
+// Encoder end-to-end
+// ---------------------------------------------------------------------------
+
+EncoderConfig small_cfg() {
+  EncoderConfig cfg;
+  cfg.width = 96;
+  cfg.height = 64;
+  cfg.frames = 6;
+  cfg.gop = 4;
+  cfg.search_range = 4;
+  cfg.worker_threads = 2;
+  cfg.frame_threads = 2;
+  return cfg;
+}
+
+class EncModes : public ::testing::TestWithParam<ExecMode> {};
+
+INSTANTIATE_TEST_SUITE_P(Videnc, EncModes, ::testing::ValuesIn(kAllModes),
+                         [](const auto& info) {
+                           std::string s = to_string(info.param);
+                           for (auto& c : s)
+                             if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+                           return s;
+                         });
+
+TEST_P(EncModes, EncodeCompletesAndReportsSaneStats) {
+  ModeGuard g(GetParam());
+  const EncodeResult r = encode(small_cfg());
+  EXPECT_EQ(r.stats.frames, 6u);
+  EXPECT_GT(r.stats.bits, 0u);
+  EXPECT_FALSE(r.bitstream.empty());
+  EXPECT_GT(r.stats.psnr, 25.0) << "reconstruction quality sanity";
+  EXPECT_LT(r.stats.psnr, 99.0);
+}
+
+TEST_P(EncModes, OutputMatchesLockModeBaseline) {
+  // THE integration property: bit-exact output regardless of mode/threads.
+  EncodeResult baseline;
+  {
+    ModeGuard g(ExecMode::Lock);
+    EncoderConfig cfg = small_cfg();
+    cfg.worker_threads = 1;
+    cfg.frame_threads = 1;
+    baseline = encode(cfg);
+  }
+  ModeGuard g(GetParam());
+  for (int workers : {1, 4}) {
+    EncoderConfig cfg = small_cfg();
+    cfg.worker_threads = workers;
+    cfg.frame_threads = 3;
+    const EncodeResult r = encode(cfg);
+    EXPECT_EQ(r.bitstream, baseline.bitstream)
+        << to_string(GetParam()) << " workers=" << workers;
+    EXPECT_EQ(r.stats.bits, baseline.stats.bits);
+    EXPECT_EQ(r.stats.sse, baseline.stats.sse);
+  }
+}
+
+TEST(Videnc, InterFramesCostFewerBitsThanIntra) {
+  ModeGuard g(ExecMode::Lock);
+  EncoderConfig all_intra = small_cfg();
+  all_intra.gop = 1;
+  EncoderConfig with_inter = small_cfg();
+  with_inter.gop = 6;
+  const auto a = encode(all_intra);
+  const auto b = encode(with_inter);
+  EXPECT_LT(b.stats.bits, a.stats.bits)
+      << "motion compensation must pay for itself on a moving scene";
+}
+
+TEST(Videnc, HigherQpCostsFewerBitsAndLowerPsnr) {
+  ModeGuard g(ExecMode::Lock);
+  EncoderConfig lo = small_cfg();
+  lo.qp = 16;
+  EncoderConfig hi = small_cfg();
+  hi.qp = 40;
+  const auto a = encode(lo);
+  const auto b = encode(hi);
+  EXPECT_GT(a.stats.bits, b.stats.bits);
+  EXPECT_GT(a.stats.psnr, b.stats.psnr);
+}
+
+TEST(Videnc, EncodePlanesMatchesSynthPath) {
+  ModeGuard g(ExecMode::StmCondVar);
+  EncoderConfig cfg = small_cfg();
+  std::vector<Plane> planes;
+  for (int i = 0; i < cfg.frames; ++i)
+    planes.push_back(synth_frame(cfg.width, cfg.height, i, cfg.seed));
+  const auto a = encode(cfg);
+  const auto b = encode_planes(planes, cfg);
+  EXPECT_EQ(a.bitstream, b.bitstream);
+}
+
+TEST(Videnc, ZeroFramesIsEmptyResult) {
+  ModeGuard g(ExecMode::Lock);
+  EncoderConfig cfg = small_cfg();
+  cfg.frames = 0;
+  const auto r = encode(cfg);
+  EXPECT_TRUE(r.bitstream.empty());
+  EXPECT_EQ(r.stats.frames, 0u);
+}
+
+TEST(Videnc, ManyWorkersOnTinyFrame) {
+  // More workers than rows: claim_row must hand out each row exactly once.
+  ModeGuard g(ExecMode::Htm);
+  EncoderConfig cfg = small_cfg();
+  cfg.worker_threads = 8;
+  cfg.frames = 3;
+  const auto r = encode(cfg);
+  EXPECT_EQ(r.stats.frames, 3u);
+  EXPECT_GT(r.stats.bits, 0u);
+}
+
+TEST(Videnc, StatsShowWavefrontTransactions) {
+  ModeGuard g(ExecMode::StmCondVar);
+  reset_stats();
+  (void)encode(small_cfg());
+  const auto s = aggregate_stats();
+  // 6 frames x 4 rows x 6 CTUs of publish + deps + claims: hundreds of
+  // transactions must have run speculatively.
+  EXPECT_GT(s.commits, 100u);
+}
+
+}  // namespace
+}  // namespace tle::videnc

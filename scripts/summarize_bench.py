@@ -1,6 +1,27 @@
 #!/usr/bin/env python3
 """Summarize bench_output.txt into the compact per-figure tables used in
-EXPERIMENTS.md. Pure-stdlib; reads the google-benchmark console format."""
+EXPERIMENTS.md. Pure-stdlib; reads the google-benchmark console format.
+
+Also ingests BENCH_tm_ops.json (emitted by bench/abl_overhead, schema
+"tle-tm-ops/v1" — authoritative documentation in bench/bench_support.hpp):
+
+    {"schema": "tle-tm-ops/v1",
+     "secs_per_cell": <double>,
+     "results": [{"workload": ..., "mode": ..., "threads": ...,
+                  "txns": ..., "ops_per_sec": ..., "accesses_per_sec": ...,
+                  "abort_pct": ..., "serial_pct": ...,
+                  "quiesce_waits": ..., "quiesce_spins": ...,
+                  "stm_read_dedup": ..., "htm_read_dedup": ...,
+                  "htm_rw_hits": ...}, ...],
+     "baseline_prepr": {"htm_read_own_write_ops": ...,
+                        "mlwt_large_read_set_ops": ..., "note": ...},
+     "speedup_vs_prepr": {"htm_read_own_write": ...,
+                          "mlwt_large_read_set": ...}}
+
+The JSON file is looked for next to the benchmark output (same directory),
+or passed explicitly as a second argument."""
+import json
+import os
 import re
 import sys
 from collections import defaultdict
@@ -37,9 +58,48 @@ def fig(rows, prefix):
     return [r for r in rows if r[0].startswith(prefix)]
 
 
+def summarize_tm_ops(path):
+    """Per-access overhead table from BENCH_tm_ops.json ("tle-tm-ops/v1")."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"  (cannot read {path}: {e})")
+        return
+    if doc.get("schema") != "tle-tm-ops/v1":
+        print(f"  (unexpected schema {doc.get('schema')!r} in {path})")
+        return
+    print(f"== tm-ops: per-access overhead ({doc.get('secs_per_cell', 0)}s/cell) ==")
+    by_wl = defaultdict(list)
+    for r in doc.get("results", []):
+        by_wl[r.get("workload", "?")].append(r)
+    for wl, cells in by_wl.items():
+        parts = []
+        for c in cells:
+            dedup = (c.get("stm_read_dedup", 0) + c.get("htm_read_dedup", 0)
+                     + c.get("htm_rw_hits", 0))
+            tag = f"{c.get('mode', '?')}={c.get('ops_per_sec', 0):.3g}"
+            if dedup:
+                tag += "*"  # dedup/index hits recorded for this cell
+            parts.append(tag)
+        print(f"  {wl:16s} ops/s: " + "  ".join(parts))
+    sp = doc.get("speedup_vs_prepr", {})
+    base = doc.get("baseline_prepr", {})
+    if sp:
+        print("  speedup vs pre-overhaul engine "
+              f"({base.get('note', 'no baseline note')}):")
+        for k, v in sp.items():
+            print(f"    {k:24s} {v:.2f}x")
+
+
 def main():
     path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
     rows = parse(path)
+
+    tm_ops = (sys.argv[2] if len(sys.argv) > 2 else
+              os.path.join(os.path.dirname(path) or ".", "BENCH_tm_ops.json"))
+    if os.path.exists(tm_ops):
+        summarize_tm_ops(tm_ops)
 
     print("== fig2: HTM serial-fallback band (paper: 13-18%) ==")
     vals = [c.get("serial_pct", 0) for n, _, c in fig(rows, "fig2/") if "HTM" in n]

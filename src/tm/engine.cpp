@@ -61,14 +61,8 @@ void stm_validate(TxDesc& tx) {
     const std::uint64_t cur = r.orec->load(std::memory_order_acquire);
     if (cur == r.seen) continue;
     if (orec_locked(cur) && orec_owner(cur) == &tx) {
-      bool ok = false;
-      for (const OwnedOrec& o : tx.owned) {
-        if (o.orec == r.orec) {
-          ok = (o.prev == r.seen);
-          break;
-        }
-      }
-      if (ok) continue;
+      const std::uint32_t i = tx.owned_idx.find(r.orec);
+      if (i != AddrIndex::kNone && tx.owned[i].prev == r.seen) continue;
     }
     tx_abort(tx, AbortCause::Validation);
   }
@@ -103,6 +97,16 @@ std::uint64_t stm_read(TxDesc& tx, const std::atomic<std::uint64_t>& cell) {
       spin_pause(spin++);
       continue;  // concurrent lock/release between our two orec loads
     }
+    // Repeat-read filter: a second read of an orec already logged with the
+    // SAME observed value adds no information — validation of the first
+    // entry covers it. A differing observation is still appended (superset
+    // validation), so abort outcomes are unchanged.
+    const std::uint32_t prior = tx.read_idx.find(&o);
+    if (prior != AddrIndex::kNone && tx.reads[prior].seen == ov) {
+      st(tx).bump(st(tx).stm_read_dedup);
+      return val;
+    }
+    tx.read_idx.insert(&o, static_cast<std::uint32_t>(tx.reads.size()));
     tx.reads.push_back({&o, ov});
     return val;
   }
@@ -125,6 +129,7 @@ void stm_write(TxDesc& tx, std::atomic<std::uint64_t>& cell,
     std::uint64_t expected = ov;
     if (o.compare_exchange_strong(expected, orec_lockword(&tx),
                                   std::memory_order_acq_rel)) {
+      tx.owned_idx.insert(&o, static_cast<std::uint32_t>(tx.owned.size()));
       tx.owned.push_back({&o, ov});
       break;
     }
@@ -252,8 +257,17 @@ void htm_begin(TxDesc& tx) {
   }
 }
 
-/// Re-validate every logged read by value and adopt the newest even
+/// Re-validate the logged reads by value and adopt the newest even
 /// sequence. Aborts if any value changed.
+///
+/// hval_wm is the count of hreads entries known valid at hsnap; when the
+/// sequence has not moved and the whole log is covered, this is an O(1)
+/// no-op. Once the sequence HAS moved, a suffix-only recheck would be
+/// unsound for value-based validation: the commit that bumped the sequence
+/// may have overwritten any logged word, including ones validated before
+/// the bump. So the pass restarts from entry 0, advancing the watermark as
+/// it goes. The real log-length win comes from htm_read's dedup keeping
+/// the log at one entry per distinct address.
 void htm_revalidate(TxDesc& tx) {
   unsigned spin = 0;
   for (;;) {
@@ -262,9 +276,12 @@ void htm_revalidate(TxDesc& tx) {
       spin_pause(spin++);
       continue;
     }
+    if (s == tx.hsnap && tx.hval_wm == tx.hreads.size()) return;
+    tx.hval_wm = 0;
     for (const HtmRead& r : tx.hreads) {
       if (r.addr->load(std::memory_order_acquire) != r.val)
         tx_abort(tx, AbortCause::Validation);
+      ++tx.hval_wm;
     }
     if (htm_seq().load(std::memory_order_acquire) == s) {
       tx.hsnap = s;
@@ -278,9 +295,21 @@ std::uint64_t htm_read(TxDesc& tx, const std::atomic<std::uint64_t>& cell) {
   // pending-writer poll is our analog of the lock-word subscription.
   if (serial_lock().serial_requested()) tx_abort(tx, AbortCause::SerialPending);
 
-  // Read-own-write from the store buffer (newest entry wins).
-  for (auto it = tx.hwrites.rbegin(); it != tx.hwrites.rend(); ++it)
-    if (it->addr == &cell) return it->val;
+  // Read-own-write from the store buffer: O(1). Last write wins because
+  // htm_write updates buffered entries in place.
+  std::uint32_t idx = tx.hwrite_idx.find(&cell);
+  if (idx != AddrIndex::kNone) {
+    st(tx).bump(st(tx).htm_rw_hits);
+    return tx.hwrites[idx].val;
+  }
+  // Read-own-read: a repeat of a logged word is served from the value log.
+  // The logged copy is exactly the hsnap-consistent snapshot value, so the
+  // repeat neither touches shared memory nor forces a revalidation.
+  idx = tx.hread_idx.find(&cell);
+  if (idx != AddrIndex::kNone) {
+    st(tx).bump(st(tx).htm_read_dedup);
+    return tx.hreads[idx].val;
+  }
 
   std::uint64_t val;
   for (;;) {
@@ -290,7 +319,9 @@ std::uint64_t htm_read(TxDesc& tx, const std::atomic<std::uint64_t>& cell) {
     if (htm_seq().load(std::memory_order_acquire) == tx.hsnap) break;
   }
   if (!tx.rcap.touch(&cell)) tx_abort(tx, AbortCause::Capacity);
+  tx.hread_idx.insert(&cell, static_cast<std::uint32_t>(tx.hreads.size()));
   tx.hreads.push_back({&cell, val});
+  tx.hval_wm = tx.hreads.size();  // read under hsnap: prefix stays validated
   return val;
 }
 
@@ -298,7 +329,15 @@ void htm_write(TxDesc& tx, std::atomic<std::uint64_t>& cell,
                std::uint64_t value) {
   if (serial_lock().serial_requested()) tx_abort(tx, AbortCause::SerialPending);
   if (!tx.wcap.touch(&cell)) tx_abort(tx, AbortCause::Capacity);
-  tx.hwrites.push_back({&cell, value});
+  // In-place upsert keeps the buffer at one entry per address while
+  // preserving last-write-wins for both htm_read and commit write-back.
+  const std::uint32_t idx = tx.hwrite_idx.find(&cell);
+  if (idx != AddrIndex::kNone) {
+    tx.hwrites[idx].val = value;
+  } else {
+    tx.hwrite_idx.insert(&cell, static_cast<std::uint32_t>(tx.hwrites.size()));
+    tx.hwrites.push_back({&cell, value});
+  }
   tx.read_only = false;
 }
 
@@ -338,6 +377,7 @@ void quiesce_wait(TxDesc& tx, bool all_domains) {
   ThreadSlot* slots = slot_table();
   bool waited = false;
   std::uint64_t wait_start = 0;
+  std::uint64_t spins_total = 0;  // one counter bump at the end, not per spin
   for (int i = 0; i < hw; ++i) {
     ThreadSlot& s = slots[i];
     if (&s == tx.slot) continue;
@@ -353,11 +393,12 @@ void quiesce_wait(TxDesc& tx, bool all_domains) {
     unsigned spin = 0;
     while (s.seq.load(std::memory_order_acquire) == v) {
       spin_pause(spin++);
-      st(tx).bump(st(tx).quiesce_spins);
+      ++spins_total;
     }
   }
   if (waited) {
     st(tx).bump(st(tx).quiesce_waits);
+    st(tx).bump(st(tx).quiesce_spins, spins_total);
     st(tx).bump(st(tx).quiesce_wait_ns, now_ns() - wait_start);
   }
 }
@@ -558,12 +599,17 @@ void tx_write_word(TxDesc& tx, std::atomic<std::uint64_t>& cell,
 // ---------------------------------------------------------------------------
 
 void tx_backoff(TxDesc& tx) {
-  // Randomized exponential backoff, capped; yields quickly so the scheme
+  // Randomized exponential backoff, capped. The delay grows across
+  // ATTEMPTS only: each iteration pauses at one constant level. (Passing
+  // the loop index escalated every iteration past 3 into a sched_yield,
+  // compounding the exponential and stalling late retries for
+  // milliseconds.) Late attempts deliberately yield so the scheme still
   // degrades gracefully on oversubscribed cores.
   const unsigned cap = 1u << (tx.attempts < 10 ? tx.attempts : 10);
   const unsigned spins =
       static_cast<unsigned>(tx.backoff_rng.below(cap ? cap : 1));
-  for (unsigned i = 0; i < spins; ++i) spin_pause(i);
+  const unsigned level = tx.attempts > 6 ? 8 : 0;
+  for (unsigned i = 0; i < spins; ++i) spin_pause(level);
 }
 
 void tm_fence() {
@@ -586,6 +632,14 @@ TxDesc& TxDesc::current() noexcept {
     desc.slot_id = my_slot_id();
     desc.slot = &slot_table()[desc.slot_id];
     desc.stats = &desc.slot->stats;
+    // Reseed with a per-rebind salt: a fresh thread recycling a slot must
+    // not replay the previous occupant's backoff sequence, which would
+    // re-create exactly the lockstep contention backoff exists to break.
+    static std::atomic<std::uint64_t> rebind_salt{0};
+    const std::uint64_t salt = rebind_salt.fetch_add(
+        0x9E3779B97F4A7C15ULL, std::memory_order_relaxed);
+    desc.backoff_rng.reseed(salt ^ (0x9E3779B9u ^
+                                    static_cast<unsigned>(desc.slot_id)));
   }
   return desc;
 }

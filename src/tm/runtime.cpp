@@ -144,6 +144,9 @@ StatsSnapshot aggregate_stats() noexcept {
     out.condvar_waits += get(s.condvar_waits);
     out.condvar_timeouts += get(s.condvar_timeouts);
     out.htm_retries += get(s.htm_retries);
+    out.stm_read_dedup += get(s.stm_read_dedup);
+    out.htm_read_dedup += get(s.htm_read_dedup);
+    out.htm_rw_hits += get(s.htm_rw_hits);
   }
   return out;
 }
@@ -154,7 +157,7 @@ void reset_stats() noexcept {
 }
 
 std::string StatsSnapshot::report() const {
-  char buf[1536];
+  char buf[2048];
   int n = std::snprintf(
       buf, sizeof buf,
       "txn starts            %12llu\n"
@@ -174,7 +177,8 @@ std::string StatsSnapshot::report() const {
       "tm alloc/free         %12llu / %llu\n"
       "deferred actions      %12llu\n"
       "condvar waits/timeouts%12llu / %llu\n"
-      "htm retries           %12llu\n",
+      "htm retries           %12llu\n"
+      "read dedup stm/htm    %12llu / %llu (htm write-buffer hits %llu)\n",
       (unsigned long long)txn_starts, (unsigned long long)commits,
       (unsigned long long)commits_readonly, (unsigned long long)serial_commits,
       (unsigned long long)serial_fallbacks, (unsigned long long)lock_sections,
@@ -194,7 +198,9 @@ std::string StatsSnapshot::report() const {
       (unsigned long long)noquiesce_ignored_free,
       (unsigned long long)tm_allocs, (unsigned long long)tm_frees,
       (unsigned long long)deferred_run, (unsigned long long)condvar_waits,
-      (unsigned long long)condvar_timeouts, (unsigned long long)htm_retries);
+      (unsigned long long)condvar_timeouts, (unsigned long long)htm_retries,
+      (unsigned long long)stm_read_dedup, (unsigned long long)htm_read_dedup,
+      (unsigned long long)htm_rw_hits);
   return std::string(buf, buf + (n < 0 ? 0 : n));
 }
 

@@ -43,6 +43,10 @@ struct TxStats {
   Counter condvar_timeouts{0};
   Counter htm_retries{0};     ///< HTM re-attempts after an abort
 
+  Counter stm_read_dedup{0};  ///< ml_wt repeat reads absorbed by the filter
+  Counter htm_read_dedup{0};  ///< HTM repeat reads served from the value log
+  Counter htm_rw_hits{0};     ///< HTM reads served from the write buffer
+
   void reset() noexcept {
     auto zero = [](Counter& c) { c.store(0, std::memory_order_relaxed); };
     zero(txn_starts);
@@ -66,6 +70,9 @@ struct TxStats {
     zero(condvar_waits);
     zero(condvar_timeouts);
     zero(htm_retries);
+    zero(stm_read_dedup);
+    zero(htm_read_dedup);
+    zero(htm_rw_hits);
   }
 
   void bump(Counter& c, std::uint64_t n = 1) noexcept {
@@ -96,6 +103,9 @@ struct StatsSnapshot {
   std::uint64_t condvar_waits = 0;
   std::uint64_t condvar_timeouts = 0;
   std::uint64_t htm_retries = 0;
+  std::uint64_t stm_read_dedup = 0;
+  std::uint64_t htm_read_dedup = 0;
+  std::uint64_t htm_rw_hits = 0;
 
   std::uint64_t aborts_total() const noexcept {
     std::uint64_t t = 0;

@@ -86,6 +86,94 @@ class LineTracker {
   std::vector<std::uint32_t> gens_;
 };
 
+/// Generation-stamped open-addressing map from an address (orec slot or
+/// tm_var cell) to a 32-bit log position. Backbone of the O(1) hot paths:
+/// HTM read-own-write, the read filters, and owned-orec validation all
+/// consult one of these instead of scanning a log vector. Between
+/// transactions reset is O(1) — stale entries expire via the same
+/// generation trick as LineTracker, and the table is wiped only when the
+/// 32-bit generation wraps.
+class AddrIndex {
+ public:
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+  /// Start a new transaction: O(1), prior entries become stale.
+  void new_txn() noexcept {
+    live_ = 0;
+    if (++gen_ == 0) {  // wrapped: genuinely wipe once every 2^32 txns
+      std::fill(gens_.begin(), gens_.end(), 0);
+      gen_ = 1;
+    }
+  }
+
+  /// Position recorded for `addr` this transaction, or kNone.
+  std::uint32_t find(const void* addr) const noexcept {
+    if (keys_.empty()) return kNone;
+    const std::size_t mask = keys_.size() - 1;
+    for (std::size_t i = hash(addr) & mask;; i = (i + 1) & mask) {
+      if (gens_[i] != gen_) return kNone;  // stale slot terminates the probe
+      if (keys_[i] == addr) return vals_[i];
+    }
+  }
+
+  /// Record `addr -> pos`, overwriting any same-transaction entry.
+  void insert(const void* addr, std::uint32_t pos) {
+    // Grow at 3/4 load so probes stay short and never cycle.
+    if (keys_.empty() || (live_ + 1) * 4 > keys_.size() * 3) grow();
+    const std::size_t mask = keys_.size() - 1;
+    for (std::size_t i = hash(addr) & mask;; i = (i + 1) & mask) {
+      if (gens_[i] != gen_) {
+        keys_[i] = addr;
+        vals_[i] = pos;
+        gens_[i] = gen_;
+        ++live_;
+        return;
+      }
+      if (keys_[i] == addr) {
+        vals_[i] = pos;
+        return;
+      }
+    }
+  }
+
+  std::size_t size() const noexcept { return live_; }
+  std::size_t capacity() const noexcept { return keys_.size(); }
+
+ private:
+  static std::size_t hash(const void* addr) noexcept {
+    return static_cast<std::size_t>(
+        (reinterpret_cast<std::uintptr_t>(addr) >> 3) *
+            0x9E3779B97F4A7C15ULL >>
+        32);
+  }
+
+  void grow() {
+    const std::size_t cap = keys_.empty() ? 64 : keys_.size() * 2;
+    std::vector<const void*> old_keys = std::move(keys_);
+    std::vector<std::uint32_t> old_vals = std::move(vals_);
+    std::vector<std::uint32_t> old_gens = std::move(gens_);
+    keys_.assign(cap, nullptr);
+    vals_.assign(cap, 0);
+    gens_.assign(cap, 0);
+    const std::size_t mask = cap - 1;
+    // Rehash only this transaction's live entries; stale ones are garbage.
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_gens[i] != gen_) continue;
+      std::size_t j = hash(old_keys[i]) & mask;
+      while (gens_[j] == gen_) j = (j + 1) & mask;
+      keys_[j] = old_keys[i];
+      vals_[j] = old_vals[i];
+      gens_[j] = gen_;
+    }
+  }
+
+  std::uint32_t gen_ = 1;
+  std::size_t live_ = 0;
+  std::vector<const void*> keys_;
+  std::vector<std::uint32_t> vals_;
+  std::vector<std::uint32_t> gens_;
+};
+
 struct ReadEntry {
   std::atomic<std::uint64_t>* orec;
   std::uint64_t seen;  // unlocked orec value observed at read time
@@ -140,11 +228,16 @@ struct TxDesc {
   std::vector<ReadEntry> reads;
   std::vector<OwnedOrec> owned;
   std::vector<UndoEntry> undo;
+  AddrIndex read_idx;   ///< orec -> reads[] position (repeat-read filter)
+  AddrIndex owned_idx;  ///< orec -> owned[] position (O(1) validation)
 
   // --- simulated HTM -------------------------------------------------------
   std::uint64_t hsnap = 0;  ///< NOrec-style global-sequence snapshot
   std::vector<HtmRead> hreads;
   std::vector<HtmWrite> hwrites;
+  AddrIndex hread_idx;      ///< cell -> hreads[] position (read-own-read)
+  AddrIndex hwrite_idx;     ///< cell -> hwrites[] position (read-own-write)
+  std::size_t hval_wm = 0;  ///< hreads prefix known valid at hsnap
   LineTracker rcap;  ///< read-set capacity model
   LineTracker wcap;  ///< write-set capacity model
   bool cap_configured = false;
@@ -172,6 +265,11 @@ struct TxDesc {
     undo.clear();
     hreads.clear();
     hwrites.clear();
+    read_idx.new_txn();
+    owned_idx.new_txn();
+    hread_idx.new_txn();
+    hwrite_idx.new_txn();
+    hval_wm = 0;
     allocs.clear();
     frees.clear();
     deferred.clear();

@@ -308,6 +308,148 @@ TEST(ProxyPrivatization, SafeUnderAlwaysQuiescencePolicy) {
 }
 
 // ---------------------------------------------------------------------------
+// Hot-path data structures (the O(1) read-own-write / read-filter overhaul)
+// ---------------------------------------------------------------------------
+
+TEST(AddrIndex, GrowthAndGenerationReset) {
+  AddrIndex idx;
+  constexpr int kN = 5000;  // forces several doublings past the initial 64
+  std::vector<std::uint64_t> words(kN);
+  for (int i = 0; i < kN; ++i)
+    idx.insert(&words[static_cast<std::size_t>(i)],
+               static_cast<std::uint32_t>(i));
+  for (int i = 0; i < kN; ++i)
+    EXPECT_EQ(idx.find(&words[static_cast<std::size_t>(i)]),
+              static_cast<std::uint32_t>(i));
+  // In-place overwrite within one transaction.
+  idx.insert(&words[3], 777);
+  EXPECT_EQ(idx.find(&words[3]), 777u);
+  // O(1) reset: everything from the old generation is stale.
+  idx.new_txn();
+  EXPECT_EQ(idx.find(&words[0]), AddrIndex::kNone);
+  EXPECT_EQ(idx.find(&words[kN - 1]), AddrIndex::kNone);
+  idx.insert(&words[7], 42);
+  EXPECT_EQ(idx.find(&words[7]), 42u);
+  EXPECT_EQ(idx.find(&words[8]), AddrIndex::kNone);
+}
+
+TEST(HtmReadOwnWrite, NewestOfManyBufferedWritesWins) {
+  ModeGuard g(ExecMode::Htm);
+  reset_stats();
+  tm_var<long> x(0), y(0);
+  atomic_do([&](TxContext& tx) {
+    for (long k = 1; k <= 100; ++k) {
+      tx.write(x, k);
+      // Must come from the write buffer (memory still holds 0) and must be
+      // the newest buffered value, not an earlier one.
+      EXPECT_EQ(tx.read(x), k);
+    }
+    tx.write(y, tx.read(x) * 2);
+  });
+  EXPECT_EQ(x.unsafe_get(), 100);
+  EXPECT_EQ(y.unsafe_get(), 200);
+  const auto s = aggregate_stats();
+  EXPECT_GE(s.htm_rw_hits, 101u);
+}
+
+TEST(MlWtDedupValidation, SelfOwnedIncarnationMismatchStillAborts) {
+  // The repeat-read filter must not weaken validation: a transaction that
+  // read x, then locked x's orec AFTER a peer's abort-release bumped its
+  // incarnation, stashes prev != seen and must fail commit validation even
+  // though the duplicate read of x was absorbed by the filter.
+  ModeGuard g(ExecMode::StmCondVar, QuiescePolicy::Never, false);
+  reset_stats();
+  // Contiguous words are orec-disjoint, so the clock mover cannot alias x.
+  auto pool = std::make_unique<tm_var<long>[]>(2);
+  pool[0].unsafe_set(1);  // x
+  pool[1].unsafe_set(0);  // clock mover
+  std::atomic<bool> a_read{false}, peer_done{false};
+  std::atomic<int> a_attempts{0};
+
+  std::thread a([&] {
+    long got = 0;
+    atomic_do([&](TxContext& tx) {
+      const int n = a_attempts.fetch_add(1) + 1;
+      got = tx.read(pool[0]);
+      // Duplicate read: same orec, same observation -> one logged entry.
+      EXPECT_EQ(tx.read(pool[0]), got);
+      if (n == 1) {
+        a_read.store(true);
+        await_flag(peer_done);
+      }
+      tx.write(pool[0], got + 10);
+    });
+    EXPECT_EQ(got, 1);
+  });
+
+  await_flag(a_read);
+  // Peer speculatively writes x and restarts: the abort-release restores
+  // the value but bumps the orec's incarnation (ABA protection).
+  std::atomic<int> peer_runs{0};
+  atomic_do([&](TxContext& tx) {
+    if (peer_runs.fetch_add(1) == 0) {
+      tx.write(pool[0], 99L);
+      tx.restart();
+    }
+  });
+  // Move the clock so A's commit cannot take the "nobody committed since
+  // our snapshot" validation shortcut.
+  atomic_do([&](TxContext& tx) { tx.write(pool[1], 1L); });
+  peer_done.store(true);
+  a.join();
+
+  EXPECT_EQ(a_attempts.load(), 2);
+  const auto s = aggregate_stats();
+  EXPECT_GE(s.aborts[static_cast<int>(AbortCause::Validation)], 1u);
+  EXPECT_GE(s.stm_read_dedup, 2u);  // the repeat read deduped on both attempts
+  EXPECT_EQ(pool[0].unsafe_get(), 11);
+}
+
+TEST(MlWtLargeReadSet, TenKDistinctWordReadSetCommits) {
+  ModeGuard g(ExecMode::StmCondVar, QuiescePolicy::Never, false);
+  reset_stats();
+  // > 10k distinct words but < kOrecCount, and contiguous: every word maps
+  // to its own orec, including the clock-mover word at the end.
+  constexpr int kN = 12000;
+  auto pool = std::make_unique<tm_var<long>[]>(kN + 1);
+  for (int i = 0; i <= kN; ++i) pool[i].unsafe_set(1);
+  tm_var<long>& mover = pool[kN];
+  std::atomic<bool> read_done{false}, clock_moved{false};
+  std::atomic<int> attempts{0};
+
+  std::thread helper([&] {
+    await_flag(read_done);
+    atomic_do([&](TxContext& tx) { tx.write(mover, 2L); });
+    clock_moved.store(true);
+  });
+
+  long sum1 = 0, sum2 = 0;
+  atomic_do([&](TxContext& tx) {
+    attempts.fetch_add(1);
+    sum1 = sum2 = 0;
+    for (int i = 0; i < kN; ++i) sum1 += tx.read(pool[i]);
+    // Second pass is fully absorbed by the repeat-read filter.
+    for (int i = 0; i < kN; ++i) sum2 += tx.read(pool[i]);
+    // The helper's disjoint commit moves the clock, so our commit runs full
+    // validation over all 12000 entries.
+    if (!read_done.exchange(true)) await_flag(clock_moved);
+    tx.write(pool[0], sum1);
+    tx.write(pool[kN - 1], sum2);
+  });
+  helper.join();
+
+  EXPECT_EQ(attempts.load(), 1) << "disjoint clock movement must not abort";
+  EXPECT_EQ(sum1, kN);
+  EXPECT_EQ(sum2, kN);
+  EXPECT_EQ(pool[0].unsafe_get(), kN);
+  EXPECT_EQ(pool[kN - 1].unsafe_get(), kN);
+  EXPECT_EQ(mover.unsafe_get(), 2);
+  const auto s = aggregate_stats();
+  EXPECT_GE(s.stm_read_dedup, static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(s.aborts_total(), 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Bookkeeping invariants
 // ---------------------------------------------------------------------------
 

@@ -1,23 +1,55 @@
 #!/usr/bin/env bash
-# Address+UB sanitizer spot-checks of the most memory-sensitive suites:
-# the TM core (longjmp rollback, allocation logs), the privatization
-# stress tests (quiesce-before-free), and the data structures (node
-# reclamation under concurrency).
+# Sanitizer presets over the tier-1 suites most sensitive to the TM
+# runtime's memory and ordering tricks: the TM core (longjmp rollback,
+# allocation logs), privatization (quiesce-before-free), the data
+# structures (node reclamation under concurrency), the engine edge cases,
+# and the quiescence substrate (grace sharing, parking, limbo reclamation).
+#
+#   asan  — AddressSanitizer + UBSan: catches use-after-free of limbo'd
+#           nodes, i.e. frees released before a covering grace period.
+#   tsan  — ThreadSanitizer: catches ordering bugs in the epoch/park
+#           protocol and the serial lock's Dekker edges.
+#
+# Usage: run_sanitizers.sh [asan|tsan|all]   (default: all)
+# Wired to the build as `cmake --build build --target check-sanitizers`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+PRESET=${1:-all}
 CXX=${CXX:-g++}
-FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer -O1 -g -std=c++20 -Isrc -Itests"
 TM_SRCS="src/tm/engine.cpp src/tm/registry.cpp src/tm/runtime.cpp src/tm/audit.cpp src/tm/trace.cpp"
 LIBS="-lgtest -lgtest_main -pthread"
 OUT=$(mktemp -d)
+trap 'rm -rf "$OUT"' EXIT
 
-for test in tm_core_test tm_privatization_test dstruct_test tm_engine_edge_test; do
-  extra=""
-  [ "$test" = tm_privatization_test ] && extra="src/sync/tx_condvar.cpp"
-  echo "== $test (ASan+UBSan)"
-  # shellcheck disable=SC2086
-  $CXX $FLAGS "tests/$test.cpp" $TM_SRCS $extra $LIBS -o "$OUT/$test"
-  "$OUT/$test"
-done
+# suite -> extra sources beyond the TM core.
+suite_extra() {
+  case "$1" in
+    tm_privatization_test|sync_stress_test) echo "src/sync/tx_condvar.cpp" ;;
+    *) echo "" ;;
+  esac
+}
+SUITES="tm_core_test tm_privatization_test dstruct_test tm_engine_edge_test quiesce_stress_test sync_stress_test"
+
+run_preset() {
+  local name=$1 flags=$2
+  for test in $SUITES; do
+    echo "== $test ($name)"
+    # shellcheck disable=SC2086
+    $CXX $flags -fno-omit-frame-pointer -g -std=c++20 -Isrc -Itests \
+      "tests/$test.cpp" $TM_SRCS $(suite_extra "$test") $LIBS \
+      -o "$OUT/$test-$name"
+    "$OUT/$test-$name"
+  done
+}
+
+case "$PRESET" in
+  asan) run_preset asan "-fsanitize=address,undefined -O1" ;;
+  tsan) run_preset tsan "-fsanitize=thread -O1" ;;
+  all)
+    run_preset asan "-fsanitize=address,undefined -O1"
+    run_preset tsan "-fsanitize=thread -O1"
+    ;;
+  *) echo "unknown preset '$PRESET' (want asan|tsan|all)" >&2; exit 2 ;;
+esac
 echo "all sanitizer runs clean"

@@ -2,8 +2,10 @@
 """Summarize bench_output.txt into the compact per-figure tables used in
 EXPERIMENTS.md. Pure-stdlib; reads the google-benchmark console format.
 
-Also ingests BENCH_tm_ops.json (emitted by bench/abl_overhead, schema
-"tle-tm-ops/v1" — authoritative documentation in bench/bench_support.hpp):
+Also ingests BENCH_quiesce.json ("tle-quiesce/v1", emitted by
+bench/quiesce_scale — see summarize_quiesce below) and BENCH_tm_ops.json
+(emitted by bench/abl_overhead, schema "tle-tm-ops/v1" — authoritative
+documentation in bench/bench_support.hpp):
 
     {"schema": "tle-tm-ops/v1",
      "secs_per_cell": <double>,
@@ -92,6 +94,43 @@ def summarize_tm_ops(path):
             print(f"    {k:24s} {v:.2f}x")
 
 
+def summarize_quiesce(path):
+    """Quiescence-scaling table from BENCH_quiesce.json ("tle-quiesce/v1",
+    emitted by bench/quiesce_scale): writer-commit throughput per
+    {policy, frees, threads} cell plus grace/limbo accounting."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"  (cannot read {path}: {e})")
+        return
+    if doc.get("schema") != "tle-quiesce/v1":
+        print(f"  (unexpected schema {doc.get('schema')!r} in {path})")
+        return
+    print(f"== quiesce-scale: writer commits/s "
+          f"({doc.get('secs_per_cell', 0)}s/cell) ==")
+    by_cfg = defaultdict(list)
+    for c in doc.get("results", []):
+        by_cfg[(c.get("policy", "?"), c.get("frees", "?"))].append(c)
+    for (policy, frees), cells in sorted(by_cfg.items()):
+        cells.sort(key=lambda c: c.get("threads", 0))
+        parts = [f"{c.get('threads', 0)}T={c.get('commits_per_sec', 0):.3g}"
+                 for c in cells]
+        shared = sum(c.get("grace_shared", 0) for c in cells)
+        limbo = sum(c.get("limbo_enqueued", 0) for c in cells)
+        tag = f"  {policy:10s} frees={frees:5s} " + "  ".join(parts)
+        if shared or limbo:
+            tag += f"   (grace_shared={shared:.0f} limbo_enq={limbo:.0f})"
+        print(tag)
+    sp = doc.get("speedup_vs_prepr", {})
+    base = doc.get("baseline_prepr", {})
+    if sp:
+        print("  speedup vs per-commit-quiesce engine "
+              f"({base.get('note', 'no baseline note')}):")
+        for k, v in sp.items():
+            print(f"    {k:24s} {v:.2f}x")
+
+
 def main():
     path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
     rows = parse(path)
@@ -100,6 +139,10 @@ def main():
               os.path.join(os.path.dirname(path) or ".", "BENCH_tm_ops.json"))
     if os.path.exists(tm_ops):
         summarize_tm_ops(tm_ops)
+
+    quiesce = os.path.join(os.path.dirname(path) or ".", "BENCH_quiesce.json")
+    if os.path.exists(quiesce):
+        summarize_quiesce(quiesce)
 
     print("== fig2: HTM serial-fallback band (paper: 13-18%) ==")
     vals = [c.get("serial_pct", 0) for n, _, c in fig(rows, "fig2/") if "HTM" in n]

@@ -5,6 +5,7 @@
 // independently so the Figure-5 microbenchmarks can sweep it.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace tle {
@@ -88,6 +89,18 @@ struct RuntimeConfig {
   /// Ablation A3: when true, each elidable_mutex forms its own quiescence
   /// domain instead of the single erased-lock domain of Section IV-A.
   bool multi_domain = false;
+
+  /// Spin iterations a quiescence or serial-lock waiter burns before
+  /// parking on the watched word via atomic::wait. Small, because the
+  /// watched transactions run for microseconds when they are short and for
+  /// scheduler quanta when they are not — there is no middle worth spinning
+  /// through.
+  unsigned park_spin_limit = 64;
+
+  /// Deferred frees a thread may accumulate in its limbo list before a
+  /// commit forces a synchronous grace period to flush them (bounds worst
+  /// case memory held back by lazy reclamation).
+  std::size_t limbo_max_pending = 1024;
 
   /// Returns true if `mode` executes critical sections as STM transactions.
   bool is_stm() const noexcept {

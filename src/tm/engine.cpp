@@ -44,9 +44,17 @@ void epoch_enter(TxDesc& tx) noexcept {
 }
 
 void epoch_exit(TxDesc& tx) noexcept {
-  // Release: orders the undo/write-back stores before the "done" signal a
-  // quiescing privatizer synchronizes with.
-  tx.slot->seq.fetch_add(1, std::memory_order_release);
+  // The RMW orders the undo/write-back stores before the "done" signal a
+  // quiescing privatizer synchronizes with. seq_cst (not release) is the
+  // Dekker edge of the park protocol: a quiescer raises slot->parked, then
+  // re-reads seq at seq_cst before sleeping — with both sides seq_cst,
+  // either its re-read sees this increment or the load below sees its
+  // parked count, so a straggler exit can never slip past a parking waiter
+  // unnoticed. Uncontended cost is unchanged on x86 (an RMW is a locked op
+  // at any ordering) plus one same-line load.
+  tx.slot->seq.fetch_add(1, std::memory_order_seq_cst);
+  if (tx.slot->parked.load(std::memory_order_seq_cst) != 0)
+    tx.slot->seq.notify_all();
 }
 
 // ---------------------------------------------------------------------------
@@ -367,40 +375,221 @@ void htm_commit(TxDesc& tx) {
 
 // ---------------------------------------------------------------------------
 // Quiescence (paper Section IV)
+//
+// Three cooperating layers (docs/tm-internals.md, "Quiescence and
+// reclamation"):
+//   * epoch_scan — one registry pass in snapshot-then-recheck form, with
+//     spin-then-park waiting on each straggler's epoch word;
+//   * grace_sync — RCU-style shared grace periods: concurrent all-domain
+//     quiesces piggyback on a single scanner via a global ticket counter;
+//   * limbo_* — epoch-based reclamation: deferred frees wait out their
+//     grace period on a per-thread limbo list instead of stalling the
+//     committing transaction (the §IV-B allocator exception, amortized).
 // ---------------------------------------------------------------------------
+
+namespace {
+
+/// One grace pass: snapshot every relevant peer's epoch once, then wait
+/// only for the peers caught mid-transaction (odd) to advance past their
+/// snapshot. Waiting is a bounded spin followed by a park on the
+/// straggler's `seq` (epoch_exit notifies when the slot's parked counter is
+/// raised). With `domain_filter`, only peers in `tx.domain` count —
+/// sufficient for ordering publication, never for reclamation.
+void epoch_scan(TxDesc& tx, bool domain_filter) {
+  const int hw = slot_high_water();
+  ThreadSlot* slots = slot_table();
+  int ids[kMaxThreads];
+  std::uint64_t snap[kMaxThreads];
+  int n = 0;
+  for (int i = 0; i < hw; ++i) {
+    ThreadSlot& peer = slots[i];
+    if (&peer == tx.slot) continue;
+    const std::uint64_t v = peer.seq.load(std::memory_order_seq_cst);
+    if (!(v & 1)) continue;  // not inside a transaction
+    if (domain_filter &&
+        peer.domain.load(std::memory_order_acquire) != tx.domain)
+      continue;  // ablation A3: other quiescence domain
+    ids[n] = i;
+    snap[n] = v;
+    ++n;
+  }
+  if (n == 0) return;
+  TxStats& s = st(tx);
+  const std::uint64_t wait_start = now_ns();
+  std::uint64_t spins = 0;
+  const unsigned spin_limit = config().park_spin_limit;
+  for (int k = 0; k < n; ++k) {
+    ThreadSlot& peer = slots[ids[k]];
+    unsigned spin = 0;
+    while (peer.seq.load(std::memory_order_acquire) == snap[k]) {
+      if (spin < spin_limit) {
+        spin_pause(spin++);
+        ++spins;
+        continue;
+      }
+      // Park on the straggler's epoch word. Dekker with epoch_exit: raise
+      // parked, re-read seq at seq_cst, and only then sleep — the exiting
+      // peer bumps seq (RMW) before loading parked, so one side always
+      // sees the other; atomic::wait itself re-checks the value, so a
+      // stale notify cannot strand us. parked_waits is bumped BEFORE the
+      // sleep so observers (stats polls, tests) can see a live park.
+      peer.parked.fetch_add(1, std::memory_order_seq_cst);
+      const std::uint64_t cur = peer.seq.load(std::memory_order_seq_cst);
+      if (cur == snap[k]) {
+        s.bump(s.parked_waits);
+        peer.seq.wait(cur, std::memory_order_seq_cst);
+      }
+      peer.parked.fetch_sub(1, std::memory_order_seq_cst);
+    }
+  }
+  s.bump(s.quiesce_waits);
+  if (spins) s.bump(s.quiesce_spins, spins);
+  s.bump(s.quiesce_wait_ns, now_ns() - wait_start);
+}
+
+/// True if no peer is currently mid-transaction (one snapshot pass, no
+/// waiting). The uncontended-commit fast path: when it holds, a quiesce is
+/// vacuously complete and the shared grace machinery — several RMWs on one
+/// contended line — would be pure overhead.
+bool epoch_peers_quiet(TxDesc& tx) noexcept {
+  const int hw = slot_high_water();
+  ThreadSlot* slots = slot_table();
+  for (int i = 0; i < hw; ++i) {
+    if (&slots[i] == tx.slot) continue;
+    if (slots[i].seq.load(std::memory_order_seq_cst) & 1) return false;
+  }
+  return true;
+}
+
+/// All-domain quiescence with shared grace periods. The requester takes
+/// ticket started+1; any pass numbered >= the ticket began (seq_cst
+/// fetch_add on `started`) after the requester's load, so its snapshot
+/// postdates the request and covers every transaction the requester could
+/// race with. Concurrent requesters therefore piggyback on one scanner's
+/// O(threads) pass instead of each running their own. Also certifies the
+/// caller's limbo batches enqueued before entry (local certification — see
+/// TxDesc::limbo_certified).
+void grace_sync(TxDesc& tx) {
+  TxStats& s = st(tx);
+  const std::uint64_t mark = tx.limbo_seq;
+  if (epoch_peers_quiet(tx)) {
+    tx.limbo_certified = mark;
+    return;
+  }
+  GraceState& g = grace_state();
+  const std::uint64_t target = g.started.load(std::memory_order_seq_cst) + 1;
+  const unsigned spin_limit = config().park_spin_limit;
+  bool scanned = false;
+  while (g.completed.load(std::memory_order_seq_cst) < target) {
+    std::uint32_t free_token = 0;
+    if (g.scanner.compare_exchange_strong(free_token, 1,
+                                          std::memory_order_seq_cst)) {
+      // We are the scanner. Run a full pass unconditionally, even if
+      // `completed` advanced while we raced for the token: piggybackers
+      // park on `completed` changing, so a token holder that skipped the
+      // scan would strand them on a stale value.
+      const std::uint64_t pass =
+          g.started.fetch_add(1, std::memory_order_seq_cst) + 1;
+      epoch_scan(tx, /*domain_filter=*/false);
+      g.completed.store(pass, std::memory_order_seq_cst);
+      g.scanner.store(0, std::memory_order_seq_cst);
+      if (g.parked.load(std::memory_order_seq_cst) != 0)
+        g.completed.notify_all();
+      s.bump(s.grace_scans);
+      scanned = true;
+      continue;  // pass >= target: the loop condition now fails
+    }
+    // A pass is in flight: piggyback. Spin briefly, then park on
+    // `completed` — but only while a scanner is active, which guarantees
+    // the word will change and be notified. If the scanner finished
+    // between our checks, loop around and compete for the token instead.
+    const std::uint64_t c = g.completed.load(std::memory_order_seq_cst);
+    if (c >= target) break;
+    const std::uint64_t wait_start = now_ns();
+    std::uint64_t spins = 0;
+    unsigned spin = 0;
+    while (spin < spin_limit &&
+           g.completed.load(std::memory_order_acquire) == c) {
+      spin_pause(spin++);
+      ++spins;
+    }
+    g.parked.fetch_add(1, std::memory_order_seq_cst);
+    if (g.completed.load(std::memory_order_seq_cst) == c &&
+        g.scanner.load(std::memory_order_seq_cst) != 0) {
+      s.bump(s.parked_waits);
+      g.completed.wait(c, std::memory_order_seq_cst);
+    }
+    g.parked.fetch_sub(1, std::memory_order_seq_cst);
+    s.bump(s.quiesce_waits);
+    if (spins) s.bump(s.quiesce_spins, spins);
+    s.bump(s.quiesce_wait_ns, now_ns() - wait_start);
+  }
+  if (!scanned) s.bump(s.grace_shared);
+  tx.limbo_certified = mark;
+}
+
+/// Move the transaction's deferred frees onto the thread-local limbo list,
+/// stamped with the grace ticket whose completion makes them safe to
+/// release. Runs after epoch_exit: transactions beginning later cannot
+/// acquire references to the privatized blocks, so waiting out everything
+/// in flight at enqueue time (what ticket certification means) is enough.
+void limbo_enqueue(TxDesc& tx) {
+  LimboBatch b;
+  b.ptrs = std::move(tx.frees);
+  tx.frees.clear();
+  b.ticket = grace_state().started.load(std::memory_order_seq_cst) + 1;
+  b.local_seq = ++tx.limbo_seq;
+  tx.limbo_pending += b.ptrs.size();
+  tx.limbo.push_back(std::move(b));
+  st(tx).bump(st(tx).limbo_enqueued);
+}
+
+/// Release every limbo batch already covered by a full all-domain grace
+/// period: globally (a shared pass numbered >= its ticket completed) or
+/// locally (this thread ran its own all-domain quiesce after the enqueue).
+/// Batches are FIFO with nondecreasing stamps, so a prefix drains. With
+/// `force`, a synchronous grace period is run first so everything drains —
+/// the bounded-memory backstop and the thread-exit path.
+void limbo_drain(TxDesc& tx, bool force) {
+  if (tx.limbo.empty()) return;
+  TxStats& s = st(tx);
+  if (force) {
+    grace_sync(tx);
+    s.bump(s.limbo_forced_flush);
+    // A forced flush is a genuine all-domain quiesce: it also discharges
+    // any armed privatization hazard for this thread.
+    if (audit::enabled()) audit::on_quiesced(tx);
+  }
+  const std::uint64_t completed =
+      grace_state().completed.load(std::memory_order_seq_cst);
+  std::size_t n = 0;
+  for (LimboBatch& b : tx.limbo) {
+    if (completed < b.ticket && b.local_seq > tx.limbo_certified) break;
+    for (void* p : b.ptrs) ::operator delete(p);
+    s.bump(s.tm_frees, b.ptrs.size());
+    tx.limbo_pending -= b.ptrs.size();
+    ++n;
+  }
+  if (n) {
+    tx.limbo.erase(tx.limbo.begin(),
+                   tx.limbo.begin() + static_cast<std::ptrdiff_t>(n));
+    s.bump(s.limbo_drained, n);
+  }
+}
+
+}  // namespace
 
 void quiesce_wait(TxDesc& tx, bool all_domains) {
   st(tx).bump(st(tx).quiesce_calls);
   if (trace::enabled()) trace::emit(trace::Event::Quiesce);
-  const bool domain_filter = config().multi_domain && !all_domains;
-  const int hw = slot_high_water();
-  ThreadSlot* slots = slot_table();
-  bool waited = false;
-  std::uint64_t wait_start = 0;
-  std::uint64_t spins_total = 0;  // one counter bump at the end, not per spin
-  for (int i = 0; i < hw; ++i) {
-    ThreadSlot& s = slots[i];
-    if (&s == tx.slot) continue;
-    const std::uint64_t v = s.seq.load(std::memory_order_acquire);
-    if (!(v & 1)) continue;  // not inside a transaction
-    if (domain_filter &&
-        s.domain.load(std::memory_order_acquire) != tx.domain)
-      continue;  // ablation A3: other quiescence domain
-    if (!waited) {
-      waited = true;
-      wait_start = now_ns();
-    }
-    unsigned spin = 0;
-    while (s.seq.load(std::memory_order_acquire) == v) {
-      spin_pause(spin++);
-      ++spins_total;
-    }
+  if (config().multi_domain && !all_domains) {
+    // Ordering-only quiesce, filtered to the transaction's own domain
+    // (ablation A3). Doesn't go through the grace machinery: tickets are
+    // all-domain by construction.
+    epoch_scan(tx, /*domain_filter=*/true);
+    return;
   }
-  if (waited) {
-    st(tx).bump(st(tx).quiesce_waits);
-    st(tx).bump(st(tx).quiesce_spins, spins_total);
-    st(tx).bump(st(tx).quiesce_wait_ns, now_ns() - wait_start);
-  }
+  grace_sync(tx);
 }
 
 // ---------------------------------------------------------------------------
@@ -445,6 +634,18 @@ void tx_commit_speculative(TxDesc& tx) {
 
 void tx_post_commit(TxDesc& tx) {
   TxStats& s = st(tx);
+  // --- deferred frees: limbo enqueue (Section IV-B, amortized) -----------
+  // Freed blocks must outlive every transaction that could still read them
+  // (zombie reads must land on live storage), and unlike the ordering
+  // quiesce that grace must cover EVERY domain — a zombie in another
+  // quiescence domain can still hold a reference. Instead of the old
+  // synchronous all-domain quiesce per freeing commit, the batch parks in
+  // limbo stamped with a grace ticket and drains below once a covering
+  // period has elapsed. Enqueue happens BEFORE the ordering quiesce so
+  // that quiesce — itself a full grace period when multi_domain is off —
+  // certifies the batch and the common Always-policy commit still drains
+  // its own frees immediately.
+  if (!tx.frees.empty()) limbo_enqueue(tx);
   // --- quiescence decision (Section IV-B) -------------------------------
   bool need_q = false;
   if (tx.access == AccessMode::Stm) {
@@ -477,20 +678,13 @@ void tx_post_commit(TxDesc& tx) {
     else
       audit::on_unquiesced_commit(tx);
   }
-  // --- deferred frees -----------------------------------------------------
-  if (!tx.frees.empty()) {
-    // Even engines that never quiesce for ordering (HTM, NoQ policy) must
-    // wait out concurrent transactions before recycling memory they might
-    // still read — zombie reads must land on live storage. And unlike the
-    // ordering quiesce, this one must cover EVERY domain: a zombie in
-    // another quiescence domain can still hold a reference. (The ordering
-    // quiesce above already covered everyone when multi_domain is off.)
-    if (!quiesced || config().multi_domain)
-      quiesce_wait(tx, /*all_domains=*/true);
-    for (void* p : tx.frees) ::operator delete(p);
-    s.bump(s.tm_frees, tx.frees.size());
-    tx.frees.clear();
-  }
+  // --- limbo drain --------------------------------------------------------
+  // Release whatever a grace period already covers; force a synchronous
+  // one only when the list outgrows the configured bound. Engines that
+  // never quiesce for ordering (HTM, the Never policy) thus pay one grace
+  // per limbo_max_pending frees instead of one per freeing commit.
+  if (!tx.limbo.empty())
+    limbo_drain(tx, /*force=*/tx.limbo_pending > config().limbo_max_pending);
   // --- deferred actions (Section VI-c logging, condvar ops) ---------------
   for (auto& fn : tx.deferred) {
     fn();
@@ -546,6 +740,14 @@ void tx_serial_exit(TxDesc& tx) {
   // No concurrent transactions exist: frees are immediate, no quiescence.
   for (void* p : tx.frees) ::operator delete(p);
   if (!tx.frees.empty()) st(tx).bump(st(tx).tm_frees, tx.frees.size());
+  tx.frees.clear();
+  // The write lock drained every reader, so a full grace period has
+  // trivially elapsed for anything this thread had in limbo: certify and
+  // drain it while the storage is provably unreferenced.
+  if (!tx.limbo.empty()) {
+    tx.limbo_certified = tx.limbo_seq;
+    limbo_drain(tx, /*force=*/false);
+  }
   epoch_exit(tx);
   serial_lock().write_unlock(*tx.slot);
   st(tx).bump(st(tx).serial_commits);
@@ -616,6 +818,15 @@ void tm_fence() {
   // A quiescence fence from plain code: wait for every in-flight
   // transaction (in our domain view) to commit or abort.
   quiesce_wait(TxDesc::current());
+}
+
+TxDesc::~TxDesc() {
+  // Thread exit with batches still in limbo: nobody will be left to drain
+  // them lazily, so flush through a forced grace period now. Runs before
+  // the thread's SlotLease destructor (current() constructs the descriptor
+  // inside the lease's initializer), so slot and stats are still valid.
+  // A moved-from descriptor has an empty limbo and skips this.
+  if (!limbo.empty()) limbo_drain(*this, /*force=*/true);
 }
 
 TxDesc& TxDesc::current() noexcept {

@@ -9,6 +9,7 @@ namespace {
 
 ThreadSlot g_slots[kMaxThreads];
 std::atomic<int> g_high_water{0};
+GraceState g_grace;
 
 /// RAII holder so a thread releases its slot at exit.
 struct SlotLease {
@@ -55,5 +56,7 @@ ThreadSlot& my_slot() noexcept { return g_slots[my_slot_id()]; }
 int slot_high_water() noexcept {
   return g_high_water.load(std::memory_order_acquire);
 }
+
+GraceState& grace_state() noexcept { return g_grace; }
 
 }  // namespace tle

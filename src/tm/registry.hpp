@@ -36,6 +36,14 @@ struct alignas(kCacheLine) ThreadSlot {
   /// Slot ownership (0 free, 1 claimed).
   std::atomic<std::uint8_t> claimed{0};
 
+  /// Count of threads parked (atomic::wait) on one of this slot's words —
+  /// `seq` (quiescence stragglers) or `sl_reader` (a draining serial
+  /// writer). The exit paths check it so the uncontended case stays a bare
+  /// RMW/store with no notify syscall. Shared between the two words: a
+  /// spurious notify on the other word costs one wasted syscall on an
+  /// already-slow path, while a second counter would widen the slot.
+  std::atomic<std::uint32_t> parked{0};
+
   TxStats stats;
 };
 
@@ -51,5 +59,30 @@ ThreadSlot& my_slot() noexcept;
 
 /// Highest slot index ever claimed + 1 (bounds registry scans).
 int slot_high_water() noexcept;
+
+/// Shared grace-period state (RCU-style, paper Section IV). A grace pass is
+/// one all-domain scan of the registry in snapshot-then-recheck form; pass
+/// N completing certifies every quiescence request ticketed <= N, so
+/// concurrent committers share one scanner instead of each burning an
+/// O(threads) scan. Invariants: started >= completed; started - completed
+/// <= 1 (at most one pass in flight, guarded by `scanner`); both are
+/// monotone.
+struct alignas(kCacheLine) GraceState {
+  /// Grace passes begun. A requester's ticket is started+1: any pass with
+  /// that number snapshots the registry after the request, hence observes
+  /// (and waits out) every transaction the requester could race with.
+  std::atomic<std::uint64_t> started{0};
+
+  /// Grace passes finished. Waiters park on this word.
+  std::atomic<std::uint64_t> completed{0};
+
+  /// 1 while a pass is scanning (mutual exclusion for the scanner role).
+  std::atomic<std::uint32_t> scanner{0};
+
+  /// Threads parked on `completed` — checked before notify_all.
+  std::atomic<std::uint32_t> parked{0};
+};
+
+GraceState& grace_state() noexcept;
 
 }  // namespace tle

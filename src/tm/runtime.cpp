@@ -134,6 +134,12 @@ StatsSnapshot aggregate_stats() noexcept {
     out.quiesce_waits += get(s.quiesce_waits);
     out.quiesce_spins += get(s.quiesce_spins);
     out.quiesce_wait_ns += get(s.quiesce_wait_ns);
+    out.grace_scans += get(s.grace_scans);
+    out.grace_shared += get(s.grace_shared);
+    out.parked_waits += get(s.parked_waits);
+    out.limbo_enqueued += get(s.limbo_enqueued);
+    out.limbo_drained += get(s.limbo_drained);
+    out.limbo_forced_flush += get(s.limbo_forced_flush);
     out.noquiesce_requests += get(s.noquiesce_requests);
     out.noquiesce_honored += get(s.noquiesce_honored);
     out.noquiesce_ignored_nested += get(s.noquiesce_ignored_nested);
@@ -153,11 +159,12 @@ StatsSnapshot aggregate_stats() noexcept {
 
 void reset_stats() noexcept {
   ThreadSlot* slots = slot_table();
-  for (int i = 0; i < slot_high_water(); ++i) slots[i].stats.reset();
+  const int hw = slot_high_water();
+  for (int i = 0; i < hw; ++i) slots[i].stats.reset();
 }
 
 std::string StatsSnapshot::report() const {
-  char buf[2048];
+  char buf[3072];
   int n = std::snprintf(
       buf, sizeof buf,
       "txn starts            %12llu\n"
@@ -173,6 +180,8 @@ std::string StatsSnapshot::report() const {
       "  user-explicit       %12llu\n"
       "  spurious (sim)      %12llu\n"
       "quiesce calls/waits   %12llu / %llu (spins %llu, blocked %.3f ms)\n"
+      "grace scans/shared    %12llu / %llu (parked waits %llu)\n"
+      "limbo enq/drained     %12llu / %llu (forced flushes %llu)\n"
       "noquiesce req/honored %12llu / %llu (ignored: nested %llu, free %llu)\n"
       "tm alloc/free         %12llu / %llu\n"
       "deferred actions      %12llu\n"
@@ -192,6 +201,10 @@ std::string StatsSnapshot::report() const {
       (unsigned long long)aborts[static_cast<int>(AbortCause::Spurious)],
       (unsigned long long)quiesce_calls, (unsigned long long)quiesce_waits,
       (unsigned long long)quiesce_spins, quiesce_wait_ns / 1e6,
+      (unsigned long long)grace_scans, (unsigned long long)grace_shared,
+      (unsigned long long)parked_waits, (unsigned long long)limbo_enqueued,
+      (unsigned long long)limbo_drained,
+      (unsigned long long)limbo_forced_flush,
       (unsigned long long)noquiesce_requests,
       (unsigned long long)noquiesce_honored,
       (unsigned long long)noquiesce_ignored_nested,

@@ -23,48 +23,103 @@ namespace tle {
 class SerialLock {
  public:
   /// Enter the read side (speculative transaction begin). Blocks while a
-  /// writer is pending or active.
+  /// writer is pending or active. Waiting is spin-then-park: after the
+  /// bounded spin, excluded readers sleep on `pending_`, which every
+  /// write_unlock changes (fetch_sub) and notifies when `rd_parked_` is up.
   void read_lock(ThreadSlot& me) noexcept {
-    for (unsigned spin = 0;;) {
+    for (;;) {
       me.sl_reader.store(1, std::memory_order_seq_cst);
       // pending_ stays nonzero for the full pending+active writer window.
       if (pending_.load(std::memory_order_seq_cst) == 0) return;
       // A writer is pending/active: back out and wait politely.
       me.sl_reader.store(0, std::memory_order_seq_cst);
-      while (pending_.load(std::memory_order_acquire) != 0) spin_pause(spin++);
+      unsigned spin = 0;
+      const unsigned spin_limit = config().park_spin_limit;
+      for (;;) {
+        const std::uint32_t p = pending_.load(std::memory_order_acquire);
+        if (p == 0) break;
+        if (spin < spin_limit) {
+          spin_pause(spin++);
+          continue;
+        }
+        // Park until pending_ moves. Dekker with write_unlock: raise
+        // rd_parked_, re-read pending_ at seq_cst, then sleep — the
+        // unlocking writer's fetch_sub precedes its rd_parked_ load, so
+        // one side always sees the other. Any pending_ change wakes us;
+        // the outer loop re-checks for zero.
+        rd_parked_.fetch_add(1, std::memory_order_seq_cst);
+        if (pending_.load(std::memory_order_seq_cst) == p) {
+          me.stats.bump(me.stats.parked_waits);
+          pending_.wait(p, std::memory_order_seq_cst);
+        }
+        rd_parked_.fetch_sub(1, std::memory_order_seq_cst);
+      }
     }
   }
 
   void read_unlock(ThreadSlot& me) noexcept {
-    me.sl_reader.store(0, std::memory_order_release);
+    // seq_cst, not release: the Dekker edge with a draining writer's park
+    // in write_lock — either this store is visible to the writer's re-read
+    // of sl_reader after it raised me.parked, or the load below sees the
+    // raised counter and notifies.
+    me.sl_reader.store(0, std::memory_order_seq_cst);
+    if (me.parked.load(std::memory_order_seq_cst) != 0)
+      me.sl_reader.notify_all();
   }
 
   /// Acquire the write side. Caller must NOT hold the read side.
   void write_lock(ThreadSlot& me) noexcept {
     pending_.fetch_add(1, std::memory_order_seq_cst);
-    // Compete for the writer token.
+    const unsigned spin_limit = config().park_spin_limit;
+    // Compete for the writer token; losers park on writer_ (write_unlock
+    // zeroes and notifies it unconditionally — writer handoff is rare).
     unsigned spin = 0;
-    std::uint32_t expected = 0;
-    while (!writer_.compare_exchange_weak(expected, 1,
-                                          std::memory_order_acq_rel)) {
-      expected = 0;
-      spin_pause(spin++);
+    for (;;) {
+      std::uint32_t expected = 0;
+      if (writer_.compare_exchange_weak(expected, 1,
+                                        std::memory_order_acq_rel))
+        break;
+      if (spin < spin_limit) {
+        spin_pause(spin++);
+        continue;
+      }
+      wr_parked_.fetch_add(1, std::memory_order_seq_cst);
+      const std::uint32_t w = writer_.load(std::memory_order_seq_cst);
+      if (w != 0) {
+        me.stats.bump(me.stats.parked_waits);
+        writer_.wait(w, std::memory_order_seq_cst);
+      }
+      wr_parked_.fetch_sub(1, std::memory_order_seq_cst);
     }
-    // Wait for every reader to drain. New readers see pending/writer via
-    // state_ and stay out.
+    // Wait for every reader to drain; new readers see pending_ and stay
+    // out. Per straggler: bounded spin, then park on its sl_reader flag
+    // (read_unlock notifies when the slot's parked counter is raised).
     const int hw = slot_high_water();
     ThreadSlot* slots = slot_table();
     for (int i = 0; i < hw; ++i) {
       if (&slots[i] == &me) continue;
       unsigned s = 0;
-      while (slots[i].sl_reader.load(std::memory_order_seq_cst) != 0)
-        spin_pause(s++);
+      while (slots[i].sl_reader.load(std::memory_order_seq_cst) != 0) {
+        if (s < spin_limit) {
+          spin_pause(s++);
+          continue;
+        }
+        slots[i].parked.fetch_add(1, std::memory_order_seq_cst);
+        if (slots[i].sl_reader.load(std::memory_order_seq_cst) != 0) {
+          me.stats.bump(me.stats.parked_waits);
+          slots[i].sl_reader.wait(1, std::memory_order_seq_cst);
+        }
+        slots[i].parked.fetch_sub(1, std::memory_order_seq_cst);
+      }
     }
   }
 
   void write_unlock(ThreadSlot&) noexcept {
-    writer_.store(0, std::memory_order_release);
-    pending_.fetch_sub(1, std::memory_order_release);
+    writer_.store(0, std::memory_order_seq_cst);
+    if (wr_parked_.load(std::memory_order_seq_cst) != 0) writer_.notify_all();
+    pending_.fetch_sub(1, std::memory_order_seq_cst);
+    if (rd_parked_.load(std::memory_order_seq_cst) != 0)
+      pending_.notify_all();
   }
 
   /// Polled by speculative transactions on every access: true if they should
@@ -80,6 +135,11 @@ class SerialLock {
  private:
   alignas(kCacheLine) std::atomic<std::uint32_t> pending_{0};
   alignas(kCacheLine) std::atomic<std::uint32_t> writer_{0};
+  /// Readers parked on pending_ / writers parked on writer_. Checked by the
+  /// corresponding unlock before notify_all so the uncontended paths stay
+  /// syscall-free.
+  alignas(kCacheLine) std::atomic<std::uint32_t> rd_parked_{0};
+  std::atomic<std::uint32_t> wr_parked_{0};
 };
 
 /// The process-wide serial lock (defined in runtime.cpp).

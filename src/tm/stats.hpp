@@ -31,6 +31,13 @@ struct TxStats {
   Counter quiesce_spins{0};  ///< spin iterations spent waiting in quiescence
   Counter quiesce_wait_ns{0};  ///< nanoseconds spent blocked in quiescence
 
+  Counter grace_scans{0};   ///< grace passes this thread scanned itself
+  Counter grace_shared{0};  ///< quiesces satisfied by another thread's scan
+  Counter parked_waits{0};  ///< futex parks after the bounded quiesce spin
+  Counter limbo_enqueued{0};      ///< free batches deferred to the limbo list
+  Counter limbo_drained{0};       ///< limbo batches released after a grace
+  Counter limbo_forced_flush{0};  ///< drains forced by the limbo size bound
+
   Counter noquiesce_requests{0};        ///< TM_NoQuiesce() invocations
   Counter noquiesce_honored{0};         ///< commits that skipped quiescence
   Counter noquiesce_ignored_nested{0};  ///< calls ignored: nested txn (§IV-B)
@@ -60,6 +67,12 @@ struct TxStats {
     zero(quiesce_waits);
     zero(quiesce_spins);
     zero(quiesce_wait_ns);
+    zero(grace_scans);
+    zero(grace_shared);
+    zero(parked_waits);
+    zero(limbo_enqueued);
+    zero(limbo_drained);
+    zero(limbo_forced_flush);
     zero(noquiesce_requests);
     zero(noquiesce_honored);
     zero(noquiesce_ignored_nested);
@@ -93,6 +106,12 @@ struct StatsSnapshot {
   std::uint64_t quiesce_waits = 0;
   std::uint64_t quiesce_spins = 0;
   std::uint64_t quiesce_wait_ns = 0;
+  std::uint64_t grace_scans = 0;
+  std::uint64_t grace_shared = 0;
+  std::uint64_t parked_waits = 0;
+  std::uint64_t limbo_enqueued = 0;
+  std::uint64_t limbo_drained = 0;
+  std::uint64_t limbo_forced_flush = 0;
   std::uint64_t noquiesce_requests = 0;
   std::uint64_t noquiesce_honored = 0;
   std::uint64_t noquiesce_ignored_nested = 0;

@@ -199,6 +199,20 @@ struct HtmWrite {
   std::uint64_t val;
 };
 
+/// One commit's worth of deferred frees parked until a full all-domain
+/// grace period elapses (epoch-based reclamation, paper Section IV-B).
+/// Owner-thread access only.
+struct LimboBatch {
+  std::vector<void*> ptrs;
+  /// Grace pass whose completion certifies release: taken as started+1 at
+  /// enqueue, so any pass reaching it snapshotted the registry after the
+  /// enqueue and therefore waited out every transaction that could still
+  /// hold a zombie reference to these blocks.
+  std::uint64_t ticket = 0;
+  /// Position in this thread's enqueue order (see TxDesc::limbo_certified).
+  std::uint64_t local_seq = 0;
+};
+
 struct TxDesc {
   // --- abort/retry machinery -------------------------------------------
   std::jmp_buf env;            ///< longjmp target: the retry loop
@@ -251,7 +265,27 @@ struct TxDesc {
   std::vector<void*> frees;   ///< released after commit (+forced quiescence)
   std::vector<std::function<void()>> deferred;  ///< run post-commit, FIFO
 
+  // --- limbo (grace-period reclamation) -----------------------------------
+  // Unlike the per-section logs above, these persist across transactions:
+  // clear_logs() must never touch them — a batch lives here until a grace
+  // period covers it.
+  std::vector<LimboBatch> limbo;  ///< FIFO, stamps nondecreasing
+  std::size_t limbo_pending = 0;  ///< total pointers across `limbo`
+  std::uint64_t limbo_seq = 0;    ///< enqueue counter (stamps local_seq)
+  /// Highest local_seq certified by this thread's own all-domain quiesce:
+  /// an ordering quiesce that happens to cover all domains doubles as the
+  /// grace period for every batch enqueued before it, even when the shared
+  /// counters never moved (fast-path scans and serial sections don't
+  /// publish passes).
+  std::uint64_t limbo_certified = 0;
+
   Xoshiro256 backoff_rng{0xC0FFEE};
+
+  TxDesc() = default;
+  TxDesc(TxDesc&&) = default;
+  /// Flushes any still-limbo frees through a forced grace period; defined
+  /// in engine.cpp. Runs at thread exit, before the slot lease is released.
+  ~TxDesc();
 
   // ---------------------------------------------------------------------
   /// The calling thread's descriptor (created on first use).

@@ -1,0 +1,185 @@
+// Stress and regression coverage for the quiescence substrate: shared grace
+// periods, spin-then-park waiting, and epoch-based limbo reclamation.
+//
+//   * A multi-threaded churn test where writers free memory under the
+//     NoQuiesce policy while readers hold long transactions — run under
+//     ASan (scripts/run_sanitizers.sh) it proves limbo frees never release
+//     storage a zombie reader can still touch, and the privatization
+//     auditor must agree (zero flagged accesses).
+//   * Regression tests that a quiescer parked on a straggler's epoch word
+//     wakes when the straggler commits AND when it aborts (both exits go
+//     through epoch_exit's parked-guarded notify).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "test_support.hpp"
+#include "tm/audit.hpp"
+
+namespace tle {
+namespace {
+
+using testing::ModeGuard;
+using testing::run_threads;
+
+struct Node {
+  tm_var<long> val;
+  explicit Node(long v) noexcept : val(v) {}
+};
+
+// Writers churn nodes through shared slots (create + destroy per commit)
+// under TM_NoQuiesce, while readers hold long transactions dereferencing
+// the slot pointers — the §IV-B scenario where premature reclamation hands
+// a zombie reader freed storage. multi_domain puts readers in a DIFFERENT
+// quiescence domain than the writers, so the writers' ordering quiesce
+// never waits for them: only the limbo list's all-domain grace period
+// stands between a freed node and a use-after-free. A small
+// limbo_max_pending forces mid-run flushes so the forced-grace path runs
+// against live readers, not just the thread-exit drain.
+TEST(QuiesceStress, NoUseAfterFreeWithNoQuiesceFreesAndLongReaders) {
+  ModeGuard g(ExecMode::StmCondVarNoQ);
+  config().multi_domain = true;
+  config().limbo_max_pending = 64;
+  reset_stats();
+
+  constexpr int kSlots = 8;
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 2;
+  constexpr long kItersPerWriter = 400;
+
+  elidable_mutex wlock(/*domain=*/1);
+  elidable_mutex rlock(/*domain=*/2);
+  tm_var<Node*> slots[kSlots];
+  for (int i = 0; i < kSlots; ++i)
+    slots[i].unsafe_set(::new (::operator new(sizeof(Node))) Node(0));
+  audit::reset();
+  audit::enable(true);
+
+  std::atomic<int> writers_done{0};
+
+  run_threads(kWriters + kReaders, [&](int id) {
+    if (id < kWriters) {
+      for (long it = 0; it < kItersPerWriter; ++it) {
+        critical(wlock, [&](TxContext& tx) {
+          tx.no_quiesce();  // denied: the transaction frees memory
+          const int s = static_cast<int>((id + it) % kSlots);
+          Node* old = tx.read(slots[s]);
+          Node* fresh = tx.create<Node>(it);
+          tx.write(slots[s], fresh);
+          tx.destroy(old);
+        });
+      }
+      writers_done.fetch_add(1);
+    } else {
+      while (writers_done.load(std::memory_order_acquire) < kWriters) {
+        critical(rlock, [&](TxContext& tx) {
+          // A long reader: several full sweeps inside ONE transaction, so
+          // writers commit (and free) while this epoch is still open.
+          long sum = 0;
+          for (int round = 0; round < 4; ++round)
+            for (int s = 0; s < kSlots; ++s) {
+              Node* p = tx.read(slots[s]);
+              sum += tx.read(p->val);  // UAF here if reclamation is broken
+            }
+          EXPECT_GE(sum, 0);
+        });
+      }
+    }
+  });
+
+  const auto s = aggregate_stats();
+  const auto rep = audit::report();
+  audit::enable(false);
+  EXPECT_EQ(rep.flagged_accesses, 0u)
+      << "limbo reclamation must leave no privatization hazard";
+  // Every free was released exactly once: speculative commits routed theirs
+  // through limbo (each one denied its NoQuiesce skip), and any commit that
+  // fell back to serial mode freed directly under the write lock.
+  const auto total = static_cast<std::uint64_t>(kWriters * kItersPerWriter);
+  EXPECT_EQ(s.tm_frees, total);
+  EXPECT_GE(s.limbo_enqueued, 1u);
+  EXPECT_EQ(s.limbo_drained, s.limbo_enqueued)
+      << "thread exit must flush every limbo batch";
+  EXPECT_EQ(s.noquiesce_ignored_free, s.limbo_enqueued);
+
+  for (int i = 0; i < kSlots; ++i) ::operator delete(slots[i].unsafe_get());
+}
+
+// A quiescing committer that exhausts its bounded spin parks on the
+// straggler's epoch word; the straggler's COMMIT must wake it.
+TEST(ParkedQuiescer, WakesWhenStragglerCommits) {
+  ModeGuard g(ExecMode::StmCondVar);  // Always quiesce
+  config().park_spin_limit = 4;       // park almost immediately
+  reset_stats();
+  tm_var<long> v(0);
+  std::atomic<bool> peer_open{false}, release{false};
+
+  std::thread peer([&] {
+    atomic_do([&](TxContext& tx) {
+      (void)tx.read(v);
+      peer_open.store(true);
+      while (!release.load(std::memory_order_relaxed))
+        std::this_thread::yield();
+    });
+  });
+  while (!peer_open.load()) std::this_thread::yield();
+
+  std::thread committer([&] {
+    atomic_do([&](TxContext& tx) { tx.write(v, 1L); });  // quiesce blocks
+  });
+  // Wait until the committer is provably parked (the counter is bumped
+  // immediately before the wait; atomic::wait re-checks the value, so a
+  // notify landing inside that window still releases it).
+  while (aggregate_stats().parked_waits < 1) std::this_thread::yield();
+
+  release.store(true);  // peer commits -> epoch_exit must notify
+  peer.join();
+  committer.join();  // hangs here (until the test timeout) on a lost wake
+
+  const auto s = aggregate_stats();
+  EXPECT_GE(s.parked_waits, 1u);
+  EXPECT_GE(s.quiesce_waits, 1u);
+}
+
+// Same parked committer, but the straggler ABORTS instead of committing —
+// the rollback path's epoch_exit must deliver the same wake-up.
+TEST(ParkedQuiescer, WakesWhenStragglerAborts) {
+  ModeGuard g(ExecMode::StmCondVar);
+  config().park_spin_limit = 4;
+  reset_stats();
+  tm_var<long> v(0);
+  std::atomic<bool> peer_open{false}, do_abort{false};
+  std::atomic<int> attempts{0};
+
+  std::thread peer([&] {
+    atomic_do([&](TxContext& tx) {
+      (void)tx.read(v);
+      if (attempts.fetch_add(1) == 0) {
+        peer_open.store(true);
+        while (!do_abort.load(std::memory_order_relaxed))
+          std::this_thread::yield();
+        tx.restart();  // user abort: rollback runs epoch_exit
+      }
+      // The retry attempt commits immediately.
+    });
+  });
+  while (!peer_open.load()) std::this_thread::yield();
+
+  std::thread committer([&] {
+    atomic_do([&](TxContext& tx) { tx.write(v, 1L); });
+  });
+  while (aggregate_stats().parked_waits < 1) std::this_thread::yield();
+
+  do_abort.store(true);  // peer aborts -> epoch_exit must notify
+  peer.join();
+  committer.join();
+
+  const auto s = aggregate_stats();
+  EXPECT_GE(s.parked_waits, 1u);
+  EXPECT_GE(s.aborts[static_cast<int>(AbortCause::UserExplicit)], 1u);
+}
+
+}  // namespace
+}  // namespace tle

@@ -480,6 +480,11 @@ void grace_sync(TxDesc& tx) {
   const std::uint64_t target = g.started.load(std::memory_order_seq_cst) + 1;
   const unsigned spin_limit = config().park_spin_limit;
   bool scanned = false;
+  // Piggyback-wait accounting, accumulated across loop iterations so one
+  // logical quiesce that re-competes after a short pass counts as one wait.
+  bool waited = false;
+  std::uint64_t total_spins = 0;
+  std::uint64_t total_wait_ns = 0;
   while (g.completed.load(std::memory_order_seq_cst) < target) {
     std::uint32_t free_token = 0;
     if (g.scanner.compare_exchange_strong(free_token, 1,
@@ -505,13 +510,13 @@ void grace_sync(TxDesc& tx) {
     // between our checks, loop around and compete for the token instead.
     const std::uint64_t c = g.completed.load(std::memory_order_seq_cst);
     if (c >= target) break;
+    waited = true;
     const std::uint64_t wait_start = now_ns();
-    std::uint64_t spins = 0;
     unsigned spin = 0;
     while (spin < spin_limit &&
            g.completed.load(std::memory_order_acquire) == c) {
       spin_pause(spin++);
-      ++spins;
+      ++total_spins;
     }
     g.parked.fetch_add(1, std::memory_order_seq_cst);
     if (g.completed.load(std::memory_order_seq_cst) == c &&
@@ -520,9 +525,12 @@ void grace_sync(TxDesc& tx) {
       g.completed.wait(c, std::memory_order_seq_cst);
     }
     g.parked.fetch_sub(1, std::memory_order_seq_cst);
+    total_wait_ns += now_ns() - wait_start;
+  }
+  if (waited) {
     s.bump(s.quiesce_waits);
-    if (spins) s.bump(s.quiesce_spins, spins);
-    s.bump(s.quiesce_wait_ns, now_ns() - wait_start);
+    if (total_spins) s.bump(s.quiesce_spins, total_spins);
+    s.bump(s.quiesce_wait_ns, total_wait_ns);
   }
   if (!scanned) s.bump(s.grace_shared);
   tx.limbo_certified = mark;

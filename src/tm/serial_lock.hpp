@@ -31,8 +31,11 @@ class SerialLock {
       me.sl_reader.store(1, std::memory_order_seq_cst);
       // pending_ stays nonzero for the full pending+active writer window.
       if (pending_.load(std::memory_order_seq_cst) == 0) return;
-      // A writer is pending/active: back out and wait politely.
-      me.sl_reader.store(0, std::memory_order_seq_cst);
+      // A writer is pending/active: back out and wait politely. The
+      // back-out must mirror read_unlock: a draining writer may already
+      // have parked on our sl_reader (it saw the store above), so the
+      // plain store alone would never wake it — missed-wakeup deadlock.
+      read_unlock(me);
       unsigned spin = 0;
       const unsigned spin_limit = config().park_spin_limit;
       for (;;) {

@@ -10,6 +10,7 @@
 #include <csetjmp>
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "tm/config.hpp"
@@ -199,6 +200,30 @@ struct HtmWrite {
   std::uint64_t val;
 };
 
+/// Integral member whose move resets the source to zero. The limbo
+/// accounting scalars must track the `limbo` vector exactly: a defaulted
+/// member-wise move empties the vector but would copy the counters, leaving
+/// a moved-from descriptor claiming pending frees it no longer holds (and
+/// spuriously force-flushing if reused). jmp_buf makes a hand-written
+/// member-init move ctor for TxDesc impossible, so the fix lives here.
+template <typename T>
+struct ZeroOnMove {
+  T v{};
+  ZeroOnMove() = default;
+  ZeroOnMove(const ZeroOnMove&) = default;
+  ZeroOnMove& operator=(const ZeroOnMove&) = default;
+  ZeroOnMove(ZeroOnMove&& o) noexcept : v(std::exchange(o.v, T{})) {}
+  ZeroOnMove& operator=(ZeroOnMove&& o) noexcept {
+    v = std::exchange(o.v, T{});
+    return *this;
+  }
+  ZeroOnMove& operator=(T x) noexcept { v = x; return *this; }
+  ZeroOnMove& operator+=(T x) noexcept { v += x; return *this; }
+  ZeroOnMove& operator-=(T x) noexcept { v -= x; return *this; }
+  T operator++() noexcept { return ++v; }
+  operator T() const noexcept { return v; }
+};
+
 /// One commit's worth of deferred frees parked until a full all-domain
 /// grace period elapses (epoch-based reclamation, paper Section IV-B).
 /// Owner-thread access only.
@@ -270,14 +295,16 @@ struct TxDesc {
   // clear_logs() must never touch them — a batch lives here until a grace
   // period covers it.
   std::vector<LimboBatch> limbo;  ///< FIFO, stamps nondecreasing
-  std::size_t limbo_pending = 0;  ///< total pointers across `limbo`
-  std::uint64_t limbo_seq = 0;    ///< enqueue counter (stamps local_seq)
+  /// Total pointers across `limbo`. ZeroOnMove: must reset with the vector.
+  ZeroOnMove<std::size_t> limbo_pending;
+  /// Enqueue counter (stamps local_seq). ZeroOnMove: see limbo_pending.
+  ZeroOnMove<std::uint64_t> limbo_seq;
   /// Highest local_seq certified by this thread's own all-domain quiesce:
   /// an ordering quiesce that happens to cover all domains doubles as the
   /// grace period for every batch enqueued before it, even when the shared
   /// counters never moved (fast-path scans and serial sections don't
   /// publish passes).
-  std::uint64_t limbo_certified = 0;
+  ZeroOnMove<std::uint64_t> limbo_certified;
 
   Xoshiro256 backoff_rng{0xC0FFEE};
 

@@ -138,7 +138,7 @@ CellResult wl_read_only(ExecMode mode, double secs) {
   const long expect = static_cast<long>(kRoVars) * (kRoVars + 1) / 2;
   return run_cell("read_only", mode, 1, secs, [&](int) -> std::uint64_t {
     long sum = 0;
-    critical(mu, [&](TxContext& tx) {
+    critical(mu, TLE_TX_SITE("abl/read_only"), [&](TxContext& tx) {
       sum = 0;
       for (int i = 0; i < kRoVars; ++i) sum += tx.read(vars[i]);
     });
@@ -154,7 +154,7 @@ CellResult wl_write_heavy(ExecMode mode, double secs) {
   long seq = 0;
   CellResult r = run_cell("write_heavy", mode, 1, secs, [&](int) -> std::uint64_t {
     ++seq;
-    critical(mu, [&](TxContext& tx) {
+    critical(mu, TLE_TX_SITE("abl/write_heavy"), [&](TxContext& tx) {
       for (int i = 0; i < kWrVars; ++i) tx.write(vars[i], seq + i);
     });
     return kWrVars;
@@ -173,7 +173,7 @@ CellResult wl_read_own_write(ExecMode mode, double secs) {
                           [&](int) -> std::uint64_t {
     ++seq;
     long acc = 0;
-    critical(mu, [&](TxContext& tx) {
+    critical(mu, TLE_TX_SITE("abl/read_own_write"), [&](TxContext& tx) {
       acc = 0;
       for (int i = 0; i < kRowVars; ++i) tx.write(vars[i], seq + i);
       for (int rnd = 0; rnd < kRowRounds; ++rnd)
@@ -208,7 +208,7 @@ CellResult wl_large_read_set(ExecMode mode, double secs) {
                   [&](int tid) -> std::uint64_t {
     tm_var<long>* mine = &vars[tid * kLrsVars];
     long acc = 0, first = 0;
-    critical(mu, [&](TxContext& tx) {
+    critical(mu, TLE_TX_SITE("abl/large_read_set"), [&](TxContext& tx) {
       acc = 0;
       first = 0;
       for (int rnd = 0; rnd < kLrsRounds; ++rnd) {
@@ -291,6 +291,15 @@ void emit_json(const char* path, const std::vector<CellResult>& cells,
 int main(int argc, char** argv) {
   const double secs = env_double("ABL_OVERHEAD_SECS", env_double("MICRO_SECS", 0.3));
   const char* out = argc > 1 ? argv[1] : "BENCH_tm_ops.json";
+
+  // ABL_OBS=1 turns on the full observability stack (per-site profiling +
+  // flight recorder) for the duration of the run — this is the knob used to
+  // measure the enabled-vs-disabled overhead acceptance numbers.
+  if (env_long("ABL_OBS", 0)) {
+    obs::profile_enable(true);
+    trace::enable(true);
+    std::printf("abl_overhead: observability ON (profiling + trace)\n");
+  }
 
   std::vector<CellResult> cells;
   for (ExecMode mode : kPaperModes) {

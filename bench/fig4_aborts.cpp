@@ -5,11 +5,20 @@
 // fallback fraction.
 //
 // Benchmark name format: fig4/<mode>/threads:<N>
+//
+// The abort breakdown is double-checked against the per-site profiler: the
+// encoder's critical sections are all named (TLE_TX_SITE), so summing the
+// per-site abort counters over every site must reproduce exactly the same
+// per-cause totals as the engine-level StatsSnapshot that pre-dates the
+// profiler. Any divergence fails the benchmark via SkipWithError.
 #include <benchmark/benchmark.h>
 
 #include <string>
 
 #include "bench_support.hpp"
+#include "tm/obs/export.hpp"
+#include "tm/obs/site.hpp"
+#include "tm/trace.hpp"
 #include "videnc/encoder.hpp"
 
 namespace {
@@ -28,18 +37,57 @@ void run_case(benchmark::State& state, ExecMode mode, int threads) {
   cfg.frame_threads = 3;
   cfg.search_range = 6;
 
+  // Regenerate the abort breakdown through the observability stack: the
+  // flight recorder runs alongside the per-site profiler for the whole case.
+  obs::profile_enable(true);
+  trace::enable(true);
+
   StatsSnapshot s;
   for (auto _ : state) {
     reset_stats();
+    obs::reset_site_profiles();
+    trace::reset();
     const auto r = videnc::encode(cfg);
     benchmark::DoNotOptimize(r.stats.bits);
     s = aggregate_stats();
   }
+
+  // Cross-check: per-site abort totals (all sites, all causes) must match
+  // the engine-level snapshot cause-for-cause.
+  std::uint64_t site_aborts[kAbortCauseCount] = {};
+  std::uint64_t site_attempts = 0;
+  for (const obs::SiteProfile& p : obs::collect_site_profiles()) {
+    site_attempts += p.attempts;
+    for (int a = 0; a < kAbortCauseCount; ++a) site_aborts[a] += p.aborts[a];
+  }
+  for (int a = 0; a < kAbortCauseCount; ++a) {
+    if (site_aborts[a] != s.aborts[a]) {
+      state.SkipWithError(
+          (std::string("per-site abort breakdown diverges from snapshot for "
+                       "cause ") +
+           to_string(static_cast<AbortCause>(a)) + ": site=" +
+           std::to_string(site_aborts[a]) + " snapshot=" +
+           std::to_string(s.aborts[a]))
+              .c_str());
+      break;
+    }
+  }
+  if (site_attempts != s.txn_starts) {
+    state.SkipWithError(
+        (std::string("per-site attempts diverge from snapshot txn_starts: ") +
+         std::to_string(site_attempts) + " vs " + std::to_string(s.txn_starts))
+            .c_str());
+  }
+
   attach_tm_counters(state, s);
   state.counters["aborts_per_ktxn"] =
       s.txn_starts ? 1000.0 * static_cast<double>(s.aborts_total()) /
                          static_cast<double>(s.txn_starts)
                    : 0.0;
+  state.counters["profiled_sites"] =
+      static_cast<double>(obs::collect_site_profiles().size());
+  trace::enable(false);
+  obs::profile_enable(false);
   config().htm_spurious_abort_rate = 0.0;
   set_exec_mode(ExecMode::Lock);
 }

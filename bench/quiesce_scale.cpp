@@ -136,7 +136,7 @@ struct BenchNode {
 inline long writer_txn(elidable_mutex& m, tm_var<long>* mine, long seq,
                        bool frees, BenchNode** prev) {
   long acc = 0;
-  critical(m, [&](TxContext& tx) {
+  critical(m, TLE_TX_SITE("qsc/writer"), [&](TxContext& tx) {
     acc = 0;
     for (int i = 0; i < kTxWrites; ++i) tx.write(mine[i], seq + i);
     for (int rnd = 0; rnd < kTxReadRounds; ++rnd)
@@ -187,7 +187,8 @@ CellResult run_cell(const Regime& regime, bool frees, int threads,
       std::uint64_t lt = 0;
       std::uint64_t x = 0x9E3779B97F4A7C15ULL;
       while (!stop.load(std::memory_order_relaxed)) {
-        critical(slock, [&](TxContext&) { x = straggler_spin(x); });
+        critical(slock, TLE_TX_SITE("qsc/straggler"),
+                 [&](TxContext&) { x = straggler_spin(x); });
         benchmark::DoNotOptimize(x);
         ++lt;
       }
@@ -210,7 +211,8 @@ CellResult run_cell(const Regime& regime, bool frees, int threads,
       benchmark::DoNotOptimize(acc);
       // Release the last node outside the measurement window.
       if (prev)
-        critical(wlock, [&](TxContext& tx) { tx.destroy(prev); });
+        critical(wlock, TLE_TX_SITE("qsc/cleanup"),
+                 [&](TxContext& tx) { tx.destroy(prev); });
       txns.fetch_add(lt, std::memory_order_relaxed);
       // Per-thread invariant: our words hold the last sequence we wrote.
       for (int i = 0; i < kTxWrites; ++i)

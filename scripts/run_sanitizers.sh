@@ -3,7 +3,9 @@
 # runtime's memory and ordering tricks: the TM core (longjmp rollback,
 # allocation logs), privatization (quiesce-before-free), the data
 # structures (node reclamation under concurrency), the engine edge cases,
-# and the quiescence substrate (grace sharing, parking, limbo reclamation).
+# the quiescence substrate (grace sharing, parking, limbo reclamation), and
+# the observability layer (seqlock trace ring under concurrent
+# emit/snapshot/reset, per-site counter tables).
 #
 #   asan  — AddressSanitizer + UBSan: catches use-after-free of limbo'd
 #           nodes, i.e. frees released before a covering grace period.
@@ -17,7 +19,7 @@ cd "$(dirname "$0")/.."
 
 PRESET=${1:-all}
 CXX=${CXX:-g++}
-TM_SRCS="src/tm/engine.cpp src/tm/registry.cpp src/tm/runtime.cpp src/tm/audit.cpp src/tm/trace.cpp"
+TM_SRCS="src/tm/engine.cpp src/tm/registry.cpp src/tm/runtime.cpp src/tm/audit.cpp src/tm/trace.cpp src/tm/obs/site.cpp src/tm/obs/export.cpp"
 LIBS="-lgtest -lgtest_main -pthread"
 OUT=$(mktemp -d)
 trap 'rm -rf "$OUT"' EXIT
@@ -29,7 +31,7 @@ suite_extra() {
     *) echo "" ;;
   esac
 }
-SUITES="tm_core_test tm_privatization_test dstruct_test tm_engine_edge_test quiesce_stress_test sync_stress_test"
+SUITES="tm_core_test tm_privatization_test dstruct_test tm_engine_edge_test quiesce_stress_test sync_stress_test obs_test"
 
 run_preset() {
   local name=$1 flags=$2

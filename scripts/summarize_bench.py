@@ -131,8 +131,71 @@ def summarize_quiesce(path):
             print(f"    {k:24s} {v:.2f}x")
 
 
+def summarize_obs(path):
+    """Per-site profile table from a tle-obs/v1 document (emitted via
+    TLE_STATS_DUMP=FILE by any binary linking the TM runtime, or by
+    tle::obs::obs_json()). Shows the Figure-4 view: per named TLE_TX_SITE,
+    attempts / commits / aborts-by-cause / serial fraction, plus p50/p99
+    attempt latency derived from the log2 histograms."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"  (cannot read {path}: {e})")
+        return
+    if doc.get("schema") != "tle-obs/v1":
+        print(f"  (unexpected schema {doc.get('schema')!r} in {path})")
+        return
+
+    def pctl(hist, p):
+        total = sum(c for _, c in hist)
+        if not total:
+            return 0.0
+        want = p * total
+        seen = 0
+        for floor, count in hist:
+            seen += count
+            if seen >= want:
+                return floor
+        return hist[-1][0]
+
+    stats = doc.get("stats", {})
+    print(f"== obs: {doc.get('mode', '?')} — "
+          f"{stats.get('commits', 0)} commits, "
+          f"{stats.get('aborts_total', 0)} aborts, "
+          f"{stats.get('serial_commits', 0)} serial ==")
+    sites = sorted(doc.get("sites", []),
+                   key=lambda s: (-s.get("aborts_total", 0),
+                                  -s.get("attempts", 0)))
+    print(f"  {'site':28s} {'attempts':>9s} {'commits':>9s} {'aborts':>7s} "
+          f"{'abrt%':>6s} {'serial':>7s} {'p50us':>8s} {'p99us':>8s}")
+    for s in sites:
+        att = s.get("attempts", 0)
+        ab = s.get("aborts_total", 0)
+        serial = s.get("serial_fallbacks", 0) + s.get("serial_commits", 0)
+        hist = s.get("attempt_ns_hist", [])
+        print(f"  {s.get('name', '?'):28s} {att:9d} {s.get('commits', 0):9d} "
+              f"{ab:7d} {100.0 * ab / att if att else 0.0:6.2f} {serial:7d} "
+              f"{pctl(hist, 0.50) / 1e3:8.1f} {pctl(hist, 0.99) / 1e3:8.1f}")
+        causes = {k: v for k, v in s.get("aborts", {}).items() if v}
+        if causes:
+            print("    " + "  ".join(f"{k}={v}"
+                                     for k, v in sorted(causes.items())))
+
+
 def main():
     path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+
+    # Direct mode: a tle-obs/v1 JSON as the sole argument.
+    if path.endswith(".json"):
+        try:
+            with open(path) as f:
+                if json.load(f).get("schema") == "tle-obs/v1":
+                    summarize_obs(path)
+                    return
+        except (OSError, ValueError):
+            pass
+
     rows = parse(path)
 
     tm_ops = (sys.argv[2] if len(sys.argv) > 2 else
@@ -143,6 +206,10 @@ def main():
     quiesce = os.path.join(os.path.dirname(path) or ".", "BENCH_quiesce.json")
     if os.path.exists(quiesce):
         summarize_quiesce(quiesce)
+
+    obs = os.path.join(os.path.dirname(path) or ".", "BENCH_obs.json")
+    if os.path.exists(obs):
+        summarize_obs(obs)
 
     print("== fig2: HTM serial-fallback band (paper: 13-18%) ==")
     vals = [c.get("serial_pct", 0) for n, _, c in fig(rows, "fig2/") if "HTM" in n]

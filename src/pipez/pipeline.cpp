@@ -59,7 +59,7 @@ class OutputCollector {
 
   /// Consumer side: publish block `idx` (ownership transfers).
   void deliver(std::size_t idx, std::vector<std::uint8_t>* data) {
-    critical(m_, [&](TxContext& tx) {
+    critical(m_, TLE_TX_SITE("pipez/deliver"), [&](TxContext& tx) {
       tx.no_quiesce();  // publishing, not privatizing
       tx.write(slots_[idx], data);
       ready_.notify_all(tx);
@@ -70,7 +70,7 @@ class OutputCollector {
   std::vector<std::uint8_t>* await(std::size_t idx) {
     for (;;) {
       std::vector<std::uint8_t>* p = nullptr;
-      critical(m_, [&](TxContext& tx) {
+      critical(m_, TLE_TX_SITE("pipez/await"), [&](TxContext& tx) {
         p = tx.read(slots_[idx]);
         if (p) {
           tx.write(slots_[idx], static_cast<std::vector<std::uint8_t>*>(nullptr));
@@ -143,7 +143,7 @@ std::vector<std::uint8_t> compress(const std::vector<std::uint8_t>& input,
       if (cfg.verbose_log) {
         // Route the log through a tiny critical section to exercise §VI-c.
         static elidable_mutex log_mutex;
-        critical(log_mutex, [&](TxContext& tx) {
+        critical(log_mutex, TLE_TX_SITE("pipez/log"), [&](TxContext& tx) {
           tx.no_quiesce();
           deferred_log(tx, "produce", i);
         });

@@ -75,7 +75,7 @@ class StreamCollector {
   void deliver(std::size_t idx, std::vector<std::uint8_t>* data) {
     for (;;) {
       bool placed = false;
-      critical(m_, [&](TxContext& tx) {
+      critical(m_, TLE_TX_SITE("pipez/file_deliver"), [&](TxContext& tx) {
         if (idx >= tx.read(written_) + window_ ||
             tx.read(slots_[idx % window_]) != nullptr) {
           tx.no_quiesce();
@@ -104,7 +104,7 @@ class StreamCollector {
   /// total block count is still unknown during streaming compression).
   std::vector<std::uint8_t>* try_take(std::size_t idx) {
     std::vector<std::uint8_t>* p = nullptr;
-    critical(m_, [&](TxContext& tx) {
+    critical(m_, TLE_TX_SITE("pipez/file_take"), [&](TxContext& tx) {
       p = tx.read(slots_[idx % window_]);
       if (p) {
         tx.write(slots_[idx % window_],

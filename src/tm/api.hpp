@@ -25,6 +25,7 @@
 
 #include "tm/audit.hpp"
 #include "tm/config.hpp"
+#include "tm/obs/site.hpp"
 #include "tm/txdesc.hpp"
 
 namespace tle {
@@ -230,8 +231,10 @@ void run_serial(TxDesc& tx, F&& body) {
 }
 
 /// The speculative retry loop shared by atomic_do and elided critical().
+/// `site` is the obs::TxSite id of this top-level section (0 = unnamed);
+/// nested sections inherit the enclosing transaction's site.
 template <typename F>
-void run_transaction(F&& body) {
+void run_transaction(F&& body, std::uint16_t site = 0) {
   TxDesc& tx = TxDesc::current();
   if (tx.in_txn()) {  // flat nesting: subsume into the enclosing transaction
     ++tx.depth;
@@ -246,6 +249,7 @@ void run_transaction(F&& body) {
     return;
   }
 
+  tx.site = site;
   tx.attempts = 0;
   tx.force_serial = tx.attr_prefer_serial;
   const RuntimeConfig& cfg = config();
@@ -282,24 +286,33 @@ void run_transaction(F&& body) {
     int limit = cfg.mode == ExecMode::Htm ? cfg.htm_max_retries
                                           : cfg.stm_max_retries;
     if (tx.attr_retries > 0) limit = tx.attr_retries;  // per-section tuning
-    if (cfg.mode == ExecMode::Htm)
+    if (cfg.mode == ExecMode::Htm) {
       tx.stats->bump(tx.stats->htm_retries);
+      if (obs::profiling_enabled())
+        obs::site_counters(tx.slot_id, tx.site)
+            .htm_retries.fetch_add(1, std::memory_order_relaxed);
+    }
     if (tx.last_abort == AbortCause::Unsafe) {
       // Irrevocable operation attempted: retrying speculatively is futile.
       tx.force_serial = true;
-      tx.stats->bump(tx.stats->serial_fallbacks);
     } else if (tx.attempts >= static_cast<unsigned>(limit > 0 ? limit : 1)) {
       tx.force_serial = true;
-      tx.stats->bump(tx.stats->serial_fallbacks);
     } else {
       tx_backoff(tx);
+    }
+    if (tx.force_serial) {
+      tx.stats->bump(tx.stats->serial_fallbacks);
+      if (obs::profiling_enabled())
+        obs::site_counters(tx.slot_id, tx.site)
+            .serial_fallbacks.fetch_add(1, std::memory_order_relaxed);
     }
   }
 }
 
 /// run_transaction with scoped per-transaction attributes.
 template <typename F>
-void run_transaction_with_attrs(const TxnAttrs& attrs, F&& body);
+void run_transaction_with_attrs(const TxnAttrs& attrs, F&& body,
+                                std::uint16_t site = 0);
 
 }  // namespace detail
 
@@ -307,6 +320,12 @@ void run_transaction_with_attrs(const TxnAttrs& attrs, F&& body);
 template <typename F>
 void atomic_do(F&& body) {
   detail::run_transaction(std::forward<F>(body));
+}
+
+/// atomic_do() with a named profiling site (see TLE_TX_SITE).
+template <typename F>
+void atomic_do(const obs::TxSite& site, F&& body) {
+  detail::run_transaction(std::forward<F>(body), site.id);
 }
 
 /// Execute `body(TxContext&)` irrevocably (the TMTS synchronized block with
@@ -329,6 +348,19 @@ void synchronized_do(F&& body) {
     --tx.depth;
     return;
   }
+  tx.site = 0;
+  detail::run_serial(tx, std::forward<F>(body));
+}
+
+/// synchronized_do() with a named profiling site.
+template <typename F>
+void synchronized_do(const obs::TxSite& site, F&& body) {
+  TxDesc& tx = TxDesc::current();
+  if (tx.in_txn()) {
+    synchronized_do(std::forward<F>(body));
+    return;
+  }
+  tx.site = site.id;
   detail::run_serial(tx, std::forward<F>(body));
 }
 
@@ -360,9 +392,10 @@ class elidable_mutex {
 namespace detail {
 
 template <typename F>
-void run_lock_section(elidable_mutex& m, F&& body) {
+void run_lock_section(elidable_mutex& m, F&& body, std::uint16_t site = 0) {
   TxDesc& tx = TxDesc::current();
   const bool outermost = !tx.in_lock_section;
+  if (outermost) tx.site = site;
   // Each section runs the deferred actions *it* registered right after its
   // own unlock. Nested sections (x265's Listing-3 producer holds the queue
   // lock across inner sections) therefore signal/wait while outer locks are
@@ -391,6 +424,9 @@ void run_lock_section(elidable_mutex& m, F&& body) {
   }
   TxStats& s = *tx.stats;
   s.bump(s.lock_sections);
+  if (obs::profiling_enabled())
+    obs::site_counters(tx.slot_id, tx.site)
+        .lock_sections.fetch_add(1, std::memory_order_relaxed);
   while (tx.deferred.size() > mark) {
     // Run in FIFO order among this section's actions.
     std::size_t i = mark;
@@ -416,6 +452,21 @@ void critical(elidable_mutex& m, F&& body) {
   detail::run_transaction(std::forward<F>(body));
 }
 
+/// critical() with a named profiling site: attempts/commits/aborts-by-cause
+/// land in this site's row of the per-site profile (and Lock-mode runs in
+/// its lock_sections column). Example:
+///   tle::critical(m, TLE_TX_SITE("videnc/claim_row"), [&](auto& tx) ...);
+template <typename F>
+void critical(elidable_mutex& m, const obs::TxSite& site, F&& body) {
+  if (config().mode == ExecMode::Lock) {
+    detail::run_lock_section(m, std::forward<F>(body), site.id);
+    return;
+  }
+  TxDesc& tx = TxDesc::current();
+  if (!tx.in_txn() && config().multi_domain) tx.domain = m.domain();
+  detail::run_transaction(std::forward<F>(body), site.id);
+}
+
 /// critical() with per-section retry tuning.
 template <typename F>
 void critical(elidable_mutex& m, const TxnAttrs& attrs, F&& body) {
@@ -428,25 +479,45 @@ void critical(elidable_mutex& m, const TxnAttrs& attrs, F&& body) {
   detail::run_transaction_with_attrs(attrs, std::forward<F>(body));
 }
 
+/// critical() with both a named profiling site and retry tuning.
+template <typename F>
+void critical(elidable_mutex& m, const obs::TxSite& site, const TxnAttrs& attrs,
+              F&& body) {
+  if (config().mode == ExecMode::Lock) {
+    detail::run_lock_section(m, std::forward<F>(body), site.id);
+    return;
+  }
+  TxDesc& tx = TxDesc::current();
+  if (!tx.in_txn() && config().multi_domain) tx.domain = m.domain();
+  detail::run_transaction_with_attrs(attrs, std::forward<F>(body), site.id);
+}
+
 /// atomic_do() with per-transaction retry tuning.
 template <typename F>
 void atomic_do(const TxnAttrs& attrs, F&& body) {
   detail::run_transaction_with_attrs(attrs, std::forward<F>(body));
 }
 
+/// atomic_do() with a named profiling site and retry tuning.
+template <typename F>
+void atomic_do(const obs::TxSite& site, const TxnAttrs& attrs, F&& body) {
+  detail::run_transaction_with_attrs(attrs, std::forward<F>(body), site.id);
+}
+
 namespace detail {
 
 template <typename F>
-void run_transaction_with_attrs(const TxnAttrs& attrs, F&& body) {
+void run_transaction_with_attrs(const TxnAttrs& attrs, F&& body,
+                                std::uint16_t site) {
   TxDesc& tx = TxDesc::current();
   if (tx.in_txn()) {  // nested: attributes of the outermost section rule
-    run_transaction(std::forward<F>(body));
+    run_transaction(std::forward<F>(body), site);
     return;
   }
   tx.attr_retries = attrs.max_retries;
   tx.attr_prefer_serial = attrs.prefer_serial;
   try {
-    run_transaction(std::forward<F>(body));
+    run_transaction(std::forward<F>(body), site);
   } catch (...) {
     tx.attr_retries = 0;
     tx.attr_prefer_serial = false;

@@ -17,6 +17,7 @@
 #include <cstdlib>
 
 #include "tm/audit.hpp"
+#include "tm/obs/site.hpp"
 #include "tm/serial_lock.hpp"
 #include "tm/trace.hpp"
 #include "util/align.hpp"
@@ -31,6 +32,18 @@ std::atomic<std::uint64_t>& gl_lock() noexcept;
 namespace {
 
 TxStats& st(TxDesc& tx) noexcept { return *tx.stats; }
+
+// Observability helpers: logged-set sizes for the flight recorder, read
+// while the logs are still intact (i.e. before clear_logs()).
+std::uint32_t obs_rset(const TxDesc& tx) noexcept {
+  return static_cast<std::uint32_t>(
+      tx.access == AccessMode::Htm ? tx.hreads.size() : tx.reads.size());
+}
+std::uint32_t obs_wset(const TxDesc& tx) noexcept {
+  // undo entries = words written, for both STM algorithms.
+  return static_cast<std::uint32_t>(
+      tx.access == AccessMode::Htm ? tx.hwrites.size() : tx.undo.size());
+}
 
 // ---------------------------------------------------------------------------
 // Epochs (quiescence substrate)
@@ -589,15 +602,32 @@ void limbo_drain(TxDesc& tx, bool force) {
 
 void quiesce_wait(TxDesc& tx, bool all_domains) {
   st(tx).bump(st(tx).quiesce_calls);
-  if (trace::enabled()) trace::emit(trace::Event::Quiesce);
+  const std::uint32_t ob = obs::flags();
+  const std::uint64_t t0 = ob ? now_ns() : 0;
+  const std::uint64_t waits_before =
+      ob & obs::kProfileBit
+          ? st(tx).quiesce_waits.load(std::memory_order_relaxed)
+          : 0;
   if (config().multi_domain && !all_domains) {
     // Ordering-only quiesce, filtered to the transaction's own domain
     // (ablation A3). Doesn't go through the grace machinery: tickets are
     // all-domain by construction.
     epoch_scan(tx, /*domain_filter=*/true);
-    return;
+  } else {
+    grace_sync(tx);
   }
-  grace_sync(tx);
+  if (ob) {
+    const std::uint64_t dur = now_ns() - t0;
+    if (ob & obs::kProfileBit) {
+      obs::SiteCounters& sc = obs::site_counters(tx.slot_id, tx.site);
+      sc.quiesce_ns.add(dur);
+      if (st(tx).quiesce_waits.load(std::memory_order_relaxed) != waits_before)
+        sc.quiesce_waits.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (ob & obs::kTraceBit)
+      trace::emit(trace::Event::Quiesce, AbortCause::None, tx.site, 0, 0, 0,
+                  dur);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -613,7 +643,16 @@ void tx_begin_speculative(TxDesc& tx) {
   serial_lock().read_lock(*tx.slot);
   epoch_enter(tx);
   st(tx).bump(st(tx).txn_starts);
-  if (trace::enabled()) trace::emit(trace::Event::Begin);
+  const std::uint32_t ob = obs::flags();
+  if (ob) {
+    tx.obs_t0 = now_ns();
+    if (ob & obs::kProfileBit)
+      obs::site_counters(tx.slot_id, tx.site)
+          .attempts.fetch_add(1, std::memory_order_relaxed);
+    if (ob & obs::kTraceBit)
+      trace::emit(trace::Event::Begin, AbortCause::None, tx.site,
+                  static_cast<std::uint16_t>(tx.attempts));
+  }
   if (tx.access == AccessMode::Stm) {
     tx.algo = cfg.stm_algo;
     if (tx.algo == StmAlgo::GlWt)
@@ -633,7 +672,19 @@ void tx_commit_speculative(TxDesc& tx) {
   epoch_exit(tx);
   serial_lock().read_unlock(*tx.slot);
   st(tx).bump(st(tx).commits);
-  if (trace::enabled()) trace::emit(trace::Event::Commit);
+  const std::uint32_t ob = obs::flags();
+  if (ob) {
+    const std::uint64_t dur = now_ns() - tx.obs_t0;
+    if (ob & obs::kProfileBit) {
+      obs::SiteCounters& sc = obs::site_counters(tx.slot_id, tx.site);
+      sc.commits.fetch_add(1, std::memory_order_relaxed);
+      sc.attempt_ns.add(dur);
+    }
+    if (ob & obs::kTraceBit)
+      trace::emit(trace::Event::Commit, AbortCause::None, tx.site,
+                  static_cast<std::uint16_t>(tx.attempts), obs_rset(tx),
+                  obs_wset(tx), dur);
+  }
   if (tx.read_only) st(tx).bump(st(tx).commits_readonly);
   tx.depth = 0;
   tx.attempts = 0;
@@ -709,7 +760,20 @@ void tx_abort(TxDesc& tx, AbortCause cause) {
   epoch_exit(tx);
   serial_lock().read_unlock(*tx.slot);
   st(tx).bump(st(tx).aborts[static_cast<int>(cause)]);
-  if (trace::enabled()) trace::emit(trace::Event::Abort, cause);
+  const std::uint32_t ob = obs::flags();
+  if (ob) {
+    const std::uint64_t dur = now_ns() - tx.obs_t0;
+    if (ob & obs::kProfileBit) {
+      obs::SiteCounters& sc = obs::site_counters(tx.slot_id, tx.site);
+      sc.aborts[static_cast<int>(cause)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+      sc.attempt_ns.add(dur);
+    }
+    if (ob & obs::kTraceBit)
+      trace::emit(trace::Event::Abort, cause, tx.site,
+                  static_cast<std::uint16_t>(tx.attempts), obs_rset(tx),
+                  obs_wset(tx), dur);
+  }
   for (void* p : tx.allocs) ::operator delete(p);
   tx.clear_logs();
   tx.depth = 0;
@@ -724,6 +788,20 @@ void tx_rollback_for_exception(TxDesc& tx) {
   epoch_exit(tx);
   serial_lock().read_unlock(*tx.slot);
   st(tx).bump(st(tx).aborts[static_cast<int>(AbortCause::UserExplicit)]);
+  const std::uint32_t ob = obs::flags();
+  if (ob) {
+    const std::uint64_t dur = now_ns() - tx.obs_t0;
+    if (ob & obs::kProfileBit) {
+      obs::SiteCounters& sc = obs::site_counters(tx.slot_id, tx.site);
+      sc.aborts[static_cast<int>(AbortCause::UserExplicit)].fetch_add(
+          1, std::memory_order_relaxed);
+      sc.attempt_ns.add(dur);
+    }
+    if (ob & obs::kTraceBit)
+      trace::emit(trace::Event::Abort, AbortCause::UserExplicit, tx.site,
+                  static_cast<std::uint16_t>(tx.attempts), obs_rset(tx),
+                  obs_wset(tx), dur);
+  }
   for (void* p : tx.allocs) ::operator delete(p);
   tx.clear_logs();
   tx.depth = 0;
@@ -741,7 +819,13 @@ void tx_serial_enter(TxDesc& tx) {
   tx.clear_logs();
   serial_lock().write_lock(*tx.slot);
   epoch_enter(tx);
-  if (trace::enabled()) trace::emit(trace::Event::SerialEnter);
+  const std::uint32_t ob = obs::flags();
+  if (ob) {
+    tx.obs_t0 = now_ns();
+    if (ob & obs::kTraceBit)
+      trace::emit(trace::Event::SerialEnter, AbortCause::None, tx.site,
+                  static_cast<std::uint16_t>(tx.attempts));
+  }
 }
 
 void tx_serial_exit(TxDesc& tx) {
@@ -759,7 +843,18 @@ void tx_serial_exit(TxDesc& tx) {
   epoch_exit(tx);
   serial_lock().write_unlock(*tx.slot);
   st(tx).bump(st(tx).serial_commits);
-  if (trace::enabled()) trace::emit(trace::Event::SerialExit);
+  const std::uint32_t ob = obs::flags();
+  if (ob) {
+    const std::uint64_t dur = now_ns() - tx.obs_t0;
+    if (ob & obs::kProfileBit) {
+      obs::SiteCounters& sc = obs::site_counters(tx.slot_id, tx.site);
+      sc.serial_commits.fetch_add(1, std::memory_order_relaxed);
+      sc.attempt_ns.add(dur);
+    }
+    if (ob & obs::kTraceBit)
+      trace::emit(trace::Event::SerialExit, AbortCause::None, tx.site,
+                  static_cast<std::uint16_t>(tx.attempts), 0, 0, dur);
+  }
   for (auto& fn : tx.deferred) {
     fn();
     st(tx).bump(st(tx).deferred_run);

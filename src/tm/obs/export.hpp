@@ -1,0 +1,74 @@
+// Aggregation and export of the observability layer: the ranked per-site
+// text table, the stable `tle-obs/v1` JSON document (process-wide TxStats +
+// per-site profiles + histograms), and the Chrome-trace-event JSON that
+// Perfetto (ui.perfetto.dev) and chrome://tracing load directly.
+//
+// Zero-friction activation (read once at startup, dumped atexit):
+//   TLE_TRACE=1            enable the flight recorder
+//   TLE_TRACE_OUT=FILE     where the Perfetto JSON goes (default
+//                          tle_trace.json; implies TLE_TRACE)
+//   TLE_STATS_DUMP=1       per-site table + stats report to stderr at exit
+//   TLE_STATS_DUMP=FILE    same, plus the tle-obs/v1 JSON written to FILE
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tm/obs/site.hpp"
+#include "tm/trace.hpp"
+
+namespace tle::obs {
+
+/// Plain-value aggregate of one site's counters across all thread slots.
+struct SiteProfile {
+  int id = 0;
+  SiteInfo info{};
+  std::uint64_t attempts = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t serial_fallbacks = 0;
+  std::uint64_t serial_commits = 0;
+  std::uint64_t lock_sections = 0;
+  std::uint64_t htm_retries = 0;
+  std::uint64_t quiesce_waits = 0;
+  std::uint64_t aborts[static_cast<int>(AbortCause::kCount)] = {};
+  std::uint64_t attempt_hist[LatencyHist::kBuckets] = {};
+  std::uint64_t quiesce_hist[LatencyHist::kBuckets] = {};
+
+  std::uint64_t aborts_total() const noexcept {
+    std::uint64_t t = 0;
+    for (auto a : aborts) t += a;
+    return t;
+  }
+};
+
+/// Sum every thread's per-site counters. Sites with no activity are
+/// omitted; site 0 ("(unnamed)") appears iff unnamed sections ran.
+std::vector<SiteProfile> collect_site_profiles();
+
+/// Ranked (by aborts, then attempts) fixed-width table of the profiles —
+/// the Figure-4 view: per site, attempts/commits/aborts-by-cause/serial.
+std::string site_table(const std::vector<SiteProfile>& profiles);
+
+/// The `tle-obs/v1` document: {schema, mode, stats{...}, sites[...]}.
+/// `stats` carries every TLE_TXSTATS_COUNTERS counter by name plus the
+/// per-cause abort breakdown, so it is schema-complete by construction.
+std::string obs_json();
+
+/// Chrome trace-event JSON ("traceEvents") from a flight-recorder
+/// snapshot: one track per thread slot, "X" slices for commits / aborts /
+/// serial sections / quiesces, instant events marking abort causes.
+std::string chrome_trace_json(const std::vector<trace::Record>& records);
+
+/// Write `body` to `path` ("-" or "" = stderr). Returns false on I/O error.
+bool write_text_file(const std::string& path, const std::string& body);
+
+/// Read TLE_TRACE / TLE_STATS_DUMP / TLE_TRACE_OUT and arm the atexit
+/// dump. Runs automatically at static-init time (site.cpp); idempotent.
+void init_from_env() noexcept;
+
+/// The atexit hook body, callable directly from tools that want the dump
+/// before exit (flushes table/report/JSONs per the current env settings).
+void dump_now();
+
+}  // namespace tle::obs

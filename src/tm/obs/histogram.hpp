@@ -1,0 +1,43 @@
+// Log2-bucketed latency histogram for the per-site profiler.
+//
+// Bucket b counts samples in [2^b, 2^(b+1)) nanoseconds, except bucket 0
+// which also absorbs 0 ns (so buckets 0..31 cover 0 ns to >= 2.1 s). Adds
+// are relaxed fetch_adds by the owning thread; an aggregator may read the
+// buckets concurrently — same contract as TxStats.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace tle::obs {
+
+struct LatencyHist {
+  static constexpr int kBuckets = 32;
+
+  std::atomic<std::uint64_t> buckets[kBuckets] = {};
+
+  /// floor(log2(ns)), clamped: 0/1 ns -> 0, >= 2^31 ns -> 31.
+  static int bucket_of(std::uint64_t ns) noexcept {
+    if (ns < 2) return 0;
+    const int b = std::bit_width(ns) - 1;
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+  /// Lower bound of bucket b in nanoseconds (bucket 0 starts at 0).
+  static std::uint64_t bucket_floor(int b) noexcept {
+    return b == 0 ? 0 : (std::uint64_t{1} << b);
+  }
+
+  void add(std::uint64_t ns) noexcept {
+    buckets[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t total() const noexcept {
+    std::uint64_t t = 0;
+    for (const auto& b : buckets) t += b.load(std::memory_order_relaxed);
+    return t;
+  }
+};
+
+}  // namespace tle::obs

@@ -121,38 +121,14 @@ StatsSnapshot aggregate_stats() noexcept {
     return c.load(std::memory_order_relaxed);
   };
   for (int i = 0; i < hw; ++i) {
-    const TxStats& s = slots[i].stats;
-    out.txn_starts += get(s.txn_starts);
-    out.commits += get(s.commits);
-    out.commits_readonly += get(s.commits_readonly);
-    for (int a = 0; a < static_cast<int>(AbortCause::kCount); ++a)
+    TxStats& s = slots[i].stats;
+    // The X-macro guarantees every scalar counter is summed; the
+    // static_assert in stats.hpp guarantees there is nothing else to sum.
+#define TLE_TXSTATS_SUM(name, desc) out.name += get(s.name);
+    TLE_TXSTATS_COUNTERS(TLE_TXSTATS_SUM)
+#undef TLE_TXSTATS_SUM
+    for (int a = 0; a < kAbortCauseCount; ++a)
       out.aborts[a] += get(s.aborts[a]);
-    out.serial_fallbacks += get(s.serial_fallbacks);
-    out.serial_commits += get(s.serial_commits);
-    out.lock_sections += get(s.lock_sections);
-    out.quiesce_calls += get(s.quiesce_calls);
-    out.quiesce_waits += get(s.quiesce_waits);
-    out.quiesce_spins += get(s.quiesce_spins);
-    out.quiesce_wait_ns += get(s.quiesce_wait_ns);
-    out.grace_scans += get(s.grace_scans);
-    out.grace_shared += get(s.grace_shared);
-    out.parked_waits += get(s.parked_waits);
-    out.limbo_enqueued += get(s.limbo_enqueued);
-    out.limbo_drained += get(s.limbo_drained);
-    out.limbo_forced_flush += get(s.limbo_forced_flush);
-    out.noquiesce_requests += get(s.noquiesce_requests);
-    out.noquiesce_honored += get(s.noquiesce_honored);
-    out.noquiesce_ignored_nested += get(s.noquiesce_ignored_nested);
-    out.noquiesce_ignored_free += get(s.noquiesce_ignored_free);
-    out.tm_allocs += get(s.tm_allocs);
-    out.tm_frees += get(s.tm_frees);
-    out.deferred_run += get(s.deferred_run);
-    out.condvar_waits += get(s.condvar_waits);
-    out.condvar_timeouts += get(s.condvar_timeouts);
-    out.htm_retries += get(s.htm_retries);
-    out.stm_read_dedup += get(s.stm_read_dedup);
-    out.htm_read_dedup += get(s.htm_read_dedup);
-    out.htm_rw_hits += get(s.htm_rw_hits);
   }
   return out;
 }

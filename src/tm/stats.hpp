@@ -3,6 +3,12 @@
 // These counters are the evidence stream for the reproduction: Figure 4 and
 // the in-text Section VII-A numbers (transaction counts, abort percentages,
 // HTM serial-fallback rates) are regenerated from them.
+//
+// Every scalar counter lives in the TLE_TXSTATS_COUNTERS X-macro below, which
+// generates the TxStats members, the StatsSnapshot mirror, reset(),
+// aggregation (runtime.cpp), the visitor used by the tle-obs/v1 JSON export,
+// and a field-count static_assert — so a counter added in one place cannot
+// silently drop out of the snapshot or the dumps.
 #pragma once
 
 #include <atomic>
@@ -13,118 +19,89 @@
 
 namespace tle {
 
+/// X(name, "description") for every scalar TxStats counter. The per-cause
+/// abort array is the one deliberate non-member of this list (it is indexed
+/// by AbortCause and handled explicitly wherever the macro is expanded).
+#define TLE_TXSTATS_COUNTERS(X)                                             \
+  X(txn_starts, "speculative attempts begun")                               \
+  X(commits, "speculative commits")                                         \
+  X(commits_readonly, "subset of commits with empty write set")             \
+  X(serial_fallbacks, "attempts that gave up and went serial")              \
+  X(serial_commits, "irrevocable/serial executions completed")              \
+  X(lock_sections, "critical sections run under the real lock")             \
+  X(quiesce_calls, "post-commit quiescence operations performed")           \
+  X(quiesce_waits, "quiescence calls that actually blocked")                \
+  X(quiesce_spins, "spin iterations spent waiting in quiescence")           \
+  X(quiesce_wait_ns, "nanoseconds spent blocked in quiescence")             \
+  X(grace_scans, "grace passes this thread scanned itself")                 \
+  X(grace_shared, "quiesces satisfied by another thread's scan")            \
+  X(parked_waits, "futex parks after the bounded quiesce spin")             \
+  X(limbo_enqueued, "free batches deferred to the limbo list")              \
+  X(limbo_drained, "limbo batches released after a grace")                  \
+  X(limbo_forced_flush, "drains forced by the limbo size bound")            \
+  X(noquiesce_requests, "TM_NoQuiesce() invocations")                       \
+  X(noquiesce_honored, "commits that skipped quiescence")                   \
+  X(noquiesce_ignored_nested, "calls ignored: nested txn (SIV-B)")          \
+  X(noquiesce_ignored_free, "skips denied: txn freed memory")               \
+  X(tm_allocs, "transactional allocations")                                 \
+  X(tm_frees, "transactional frees")                                        \
+  X(deferred_run, "deferred actions executed post-commit")                  \
+  X(condvar_waits, "transactional condvar waits")                           \
+  X(condvar_timeouts, "transactional condvar timed waits that expired")     \
+  X(htm_retries, "HTM re-attempts after an abort")                          \
+  X(stm_read_dedup, "ml_wt repeat reads absorbed by the filter")            \
+  X(htm_read_dedup, "HTM repeat reads served from the value log")           \
+  X(htm_rw_hits, "HTM reads served from the write buffer")
+
+/// Number of scalar counters in the X-macro (excludes the abort array).
+inline constexpr int kTxStatsCounterCount = 0
+#define TLE_TXSTATS_COUNT_ONE(name, desc) +1
+    TLE_TXSTATS_COUNTERS(TLE_TXSTATS_COUNT_ONE)
+#undef TLE_TXSTATS_COUNT_ONE
+    ;
+
+inline constexpr int kAbortCauseCount = static_cast<int>(AbortCause::kCount);
+
 /// Counters owned by one thread; incremented with relaxed atomics so an
 /// aggregator may read them concurrently without UB.
 struct TxStats {
   using Counter = std::atomic<std::uint64_t>;
 
-  Counter txn_starts{0};        ///< speculative attempts begun
-  Counter commits{0};           ///< speculative commits
-  Counter commits_readonly{0};  ///< subset of commits with empty write set
-  Counter aborts[static_cast<int>(AbortCause::kCount)] = {};
-  Counter serial_fallbacks{0};  ///< attempts that gave up and went serial
-  Counter serial_commits{0};    ///< irrevocable/serial executions completed
-  Counter lock_sections{0};     ///< critical sections run under the real lock
+#define TLE_TXSTATS_DECL(name, desc) Counter name{0};  ///< desc
+  TLE_TXSTATS_COUNTERS(TLE_TXSTATS_DECL)
+#undef TLE_TXSTATS_DECL
 
-  Counter quiesce_calls{0};  ///< post-commit quiescence operations performed
-  Counter quiesce_waits{0};  ///< quiescence calls that actually blocked
-  Counter quiesce_spins{0};  ///< spin iterations spent waiting in quiescence
-  Counter quiesce_wait_ns{0};  ///< nanoseconds spent blocked in quiescence
-
-  Counter grace_scans{0};   ///< grace passes this thread scanned itself
-  Counter grace_shared{0};  ///< quiesces satisfied by another thread's scan
-  Counter parked_waits{0};  ///< futex parks after the bounded quiesce spin
-  Counter limbo_enqueued{0};      ///< free batches deferred to the limbo list
-  Counter limbo_drained{0};       ///< limbo batches released after a grace
-  Counter limbo_forced_flush{0};  ///< drains forced by the limbo size bound
-
-  Counter noquiesce_requests{0};        ///< TM_NoQuiesce() invocations
-  Counter noquiesce_honored{0};         ///< commits that skipped quiescence
-  Counter noquiesce_ignored_nested{0};  ///< calls ignored: nested txn (§IV-B)
-  Counter noquiesce_ignored_free{0};    ///< skips denied: txn freed memory
-
-  Counter tm_allocs{0};
-  Counter tm_frees{0};
-  Counter deferred_run{0};    ///< deferred actions executed post-commit
-  Counter condvar_waits{0};
-  Counter condvar_timeouts{0};
-  Counter htm_retries{0};     ///< HTM re-attempts after an abort
-
-  Counter stm_read_dedup{0};  ///< ml_wt repeat reads absorbed by the filter
-  Counter htm_read_dedup{0};  ///< HTM repeat reads served from the value log
-  Counter htm_rw_hits{0};     ///< HTM reads served from the write buffer
+  Counter aborts[kAbortCauseCount] = {};  ///< speculative aborts by cause
 
   void reset() noexcept {
     auto zero = [](Counter& c) { c.store(0, std::memory_order_relaxed); };
-    zero(txn_starts);
-    zero(commits);
-    zero(commits_readonly);
+#define TLE_TXSTATS_ZERO(name, desc) zero(name);
+    TLE_TXSTATS_COUNTERS(TLE_TXSTATS_ZERO)
+#undef TLE_TXSTATS_ZERO
     for (auto& a : aborts) zero(a);
-    zero(serial_fallbacks);
-    zero(serial_commits);
-    zero(lock_sections);
-    zero(quiesce_calls);
-    zero(quiesce_waits);
-    zero(quiesce_spins);
-    zero(quiesce_wait_ns);
-    zero(grace_scans);
-    zero(grace_shared);
-    zero(parked_waits);
-    zero(limbo_enqueued);
-    zero(limbo_drained);
-    zero(limbo_forced_flush);
-    zero(noquiesce_requests);
-    zero(noquiesce_honored);
-    zero(noquiesce_ignored_nested);
-    zero(noquiesce_ignored_free);
-    zero(tm_allocs);
-    zero(tm_frees);
-    zero(deferred_run);
-    zero(condvar_waits);
-    zero(condvar_timeouts);
-    zero(htm_retries);
-    zero(stm_read_dedup);
-    zero(htm_read_dedup);
-    zero(htm_rw_hits);
   }
 
   void bump(Counter& c, std::uint64_t n = 1) noexcept {
     c.fetch_add(n, std::memory_order_relaxed);
   }
+
+  /// Visit every scalar counter as f(name, atomic&); the abort array is not
+  /// included. Used by tests to prove aggregation covers every field.
+  template <typename F>
+  void for_each_counter(F&& f) {
+#define TLE_TXSTATS_VISIT(name, desc) f(#name, name);
+    TLE_TXSTATS_COUNTERS(TLE_TXSTATS_VISIT)
+#undef TLE_TXSTATS_VISIT
+  }
 };
 
 /// Plain-value aggregate of every live thread's TxStats.
 struct StatsSnapshot {
-  std::uint64_t txn_starts = 0;
-  std::uint64_t commits = 0;
-  std::uint64_t commits_readonly = 0;
-  std::uint64_t aborts[static_cast<int>(AbortCause::kCount)] = {};
-  std::uint64_t serial_fallbacks = 0;
-  std::uint64_t serial_commits = 0;
-  std::uint64_t lock_sections = 0;
-  std::uint64_t quiesce_calls = 0;
-  std::uint64_t quiesce_waits = 0;
-  std::uint64_t quiesce_spins = 0;
-  std::uint64_t quiesce_wait_ns = 0;
-  std::uint64_t grace_scans = 0;
-  std::uint64_t grace_shared = 0;
-  std::uint64_t parked_waits = 0;
-  std::uint64_t limbo_enqueued = 0;
-  std::uint64_t limbo_drained = 0;
-  std::uint64_t limbo_forced_flush = 0;
-  std::uint64_t noquiesce_requests = 0;
-  std::uint64_t noquiesce_honored = 0;
-  std::uint64_t noquiesce_ignored_nested = 0;
-  std::uint64_t noquiesce_ignored_free = 0;
-  std::uint64_t tm_allocs = 0;
-  std::uint64_t tm_frees = 0;
-  std::uint64_t deferred_run = 0;
-  std::uint64_t condvar_waits = 0;
-  std::uint64_t condvar_timeouts = 0;
-  std::uint64_t htm_retries = 0;
-  std::uint64_t stm_read_dedup = 0;
-  std::uint64_t htm_read_dedup = 0;
-  std::uint64_t htm_rw_hits = 0;
+#define TLE_TXSTATS_DECL(name, desc) std::uint64_t name = 0;  ///< desc
+  TLE_TXSTATS_COUNTERS(TLE_TXSTATS_DECL)
+#undef TLE_TXSTATS_DECL
+
+  std::uint64_t aborts[kAbortCauseCount] = {};
 
   std::uint64_t aborts_total() const noexcept {
     std::uint64_t t = 0;
@@ -147,9 +124,28 @@ struct StatsSnapshot {
                    : 0.0;
   }
 
+  /// Visit every scalar counter as f(name, value, description); the abort
+  /// array is exported separately, keyed by cause name.
+  template <typename F>
+  void for_each_counter(F&& f) const {
+#define TLE_TXSTATS_VISIT(name, desc) f(#name, name, desc);
+    TLE_TXSTATS_COUNTERS(TLE_TXSTATS_VISIT)
+#undef TLE_TXSTATS_VISIT
+  }
+
   /// Multi-line human-readable report.
   std::string report() const;
 };
+
+// A counter added to StatsSnapshot outside the X-macro (or an AbortCause
+// added without growing the array) trips this: the snapshot must be exactly
+// the macro-generated scalars plus the per-cause abort array.
+static_assert(sizeof(StatsSnapshot) ==
+                  sizeof(std::uint64_t) *
+                      (kTxStatsCounterCount + kAbortCauseCount),
+              "StatsSnapshot has fields not generated by "
+              "TLE_TXSTATS_COUNTERS; add them to the X-macro so "
+              "aggregation and the obs exports stay complete");
 
 /// Sum the counters of every registered thread (safe while threads run; the
 /// result is then approximate, exact at barriers).

@@ -1,7 +1,10 @@
 // Umbrella header for the TLE/TM runtime.
 #pragma once
 
-#include "tm/api.hpp"      // IWYU pragma: export
-#include "tm/config.hpp"   // IWYU pragma: export
-#include "tm/stats.hpp"    // IWYU pragma: export
-#include "tm/txdesc.hpp"   // IWYU pragma: export
+#include "tm/api.hpp"         // IWYU pragma: export
+#include "tm/config.hpp"      // IWYU pragma: export
+#include "tm/obs/export.hpp"  // IWYU pragma: export
+#include "tm/obs/site.hpp"    // IWYU pragma: export
+#include "tm/stats.hpp"       // IWYU pragma: export
+#include "tm/trace.hpp"       // IWYU pragma: export
+#include "tm/txdesc.hpp"      // IWYU pragma: export

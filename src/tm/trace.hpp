@@ -1,11 +1,19 @@
-// Lightweight TM event tracing.
+// Lightweight TM event tracing — the flight recorder.
 //
 // When enabled, the engine emits begin/commit/abort/serial/quiesce events
-// into fixed-size per-thread rings (relaxed stores by the owner, no shared
-// contention). snapshot() merges the rings into one time-ordered record of
-// recent TM activity — the first tool to reach for when a TLE workload
-// misbehaves (who serialized? what aborted? how often did quiescence run?).
-// Zero overhead when disabled (one relaxed flag load per event site).
+// into fixed-size per-thread rings (owner-only stores, no shared
+// contention). Each record carries the transaction's TxSite id, retry
+// number, read/write-set sizes, and interval duration, so the exporter
+// (tm/obs/export.hpp) can turn a snapshot into a Chrome-trace/Perfetto
+// timeline with one track per thread slot.
+//
+// Records are guarded by a per-cell sequence lock: emit() never blocks and
+// snapshot() is safe (and TSan-clean) while writers are live — a reader
+// that races an overwrite simply discards that cell. reset() retires the
+// currently visible records by advancing a per-ring floor watermark instead
+// of rewinding the write cursor, so it too is safe against concurrent
+// emitters. Zero overhead when disabled (one relaxed flag load per event
+// site, shared with the per-site profiler).
 #pragma once
 
 #include <cstdint>
@@ -27,8 +35,13 @@ enum class Event : std::uint8_t {
 const char* to_string(Event e) noexcept;
 
 struct Record {
-  std::uint64_t ts_ns;  ///< steady-clock timestamp
-  std::uint32_t slot;   ///< thread slot id
+  std::uint64_t ts_ns;   ///< steady-clock timestamp (end of the interval)
+  std::uint64_t dur_ns;  ///< interval length; 0 for Begin/SerialEnter
+  std::uint32_t rset;    ///< read-set size at the event (Commit/Abort)
+  std::uint32_t wset;    ///< write-set size at the event (Commit/Abort)
+  std::uint16_t slot;    ///< thread slot id
+  std::uint16_t site;    ///< obs::TxSite id (0 = unnamed section)
+  std::uint16_t retry;   ///< attempt number within the logical txn (0-based)
   Event event;
   AbortCause cause;  ///< meaningful for Abort
 };
@@ -38,13 +51,16 @@ void enable(bool on) noexcept;
 bool enabled() noexcept;
 
 /// Engine hook: record an event for the calling thread.
-void emit(Event e, AbortCause cause = AbortCause::None) noexcept;
+void emit(Event e, AbortCause cause = AbortCause::None, std::uint16_t site = 0,
+          std::uint16_t retry = 0, std::uint32_t rset = 0,
+          std::uint32_t wset = 0, std::uint64_t dur_ns = 0) noexcept;
 
 /// Merge every thread's ring into one timestamp-sorted vector. Each ring
 /// holds the most recent kRingSize events; older ones are overwritten.
+/// Cells being overwritten during the copy are skipped, not torn.
 std::vector<Record> snapshot();
 
-/// Drop all recorded events.
+/// Drop all currently recorded events (concurrent emitters keep going).
 void reset() noexcept;
 
 inline constexpr std::size_t kRingSize = 4096;

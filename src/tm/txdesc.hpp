@@ -258,6 +258,8 @@ struct TxDesc {
   bool is_serial = false;   ///< holding the serial write token
   bool in_lock_section = false;  ///< Lock-mode critical section (no TM)
   std::uint32_t domain = 0;      ///< quiescence domain (ablation A3)
+  std::uint16_t site = 0;   ///< obs::TxSite of the current top-level section
+  std::uint64_t obs_t0 = 0;  ///< attempt start stamp (obs enabled only)
 
   // --- STM -------------------------------------------------------------
   StmAlgo algo = StmAlgo::MlWt;  ///< algorithm of the current attempt

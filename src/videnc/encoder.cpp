@@ -46,7 +46,7 @@ struct ReconRef {
 
   /// Mark row r complete and advance the contiguous frontier.
   void publish_row(int r) {
-    critical(m, [&](TxContext& tx) {
+    critical(m, TLE_TX_SITE("videnc/recon_publish"), [&](TxContext& tx) {
       tx.no_quiesce();
       tx.write(row_flags[r], true);
       int f = tx.read(frontier);
@@ -81,7 +81,7 @@ class FrameOutputQueue {
 
   /// Producer, final stage: mark frame `f` complete.
   void mark_ready(std::size_t f) {
-    critical(m_, [&](TxContext& tx) {
+    critical(m_, TLE_TX_SITE("videnc/out_mark_ready"), [&](TxContext& tx) {
       tx.no_quiesce();  // publishing
       tx.write(ready_[f], true);
       cv_.notify_all(tx);
@@ -92,7 +92,7 @@ class FrameOutputQueue {
   void await(std::size_t f) {
     for (;;) {
       bool ok = false;
-      critical(m_, [&](TxContext& tx) {
+      critical(m_, TLE_TX_SITE("videnc/out_await"), [&](TxContext& tx) {
         ok = tx.read(ready_[f]);
         if (!ok) {
           tx.no_quiesce();
@@ -154,7 +154,8 @@ class FrameJob {
   /// Claim the next unowned row (bonded-task-group lock). -1 when none left.
   int claim_row() {
     int row = -1;
-    critical(btg_lock_, [&](TxContext& tx) {
+    critical(btg_lock_, TLE_TX_SITE("videnc/btg_claim_row"),
+             [&](TxContext& tx) {
       tx.no_quiesce();
       const int next = tx.read(next_row_);
       if (next < rows_) {
@@ -177,14 +178,16 @@ class FrameJob {
     }
     publish_recon_row(r);
     // Cost lock: accumulate metrics once per row.
-    critical(costs_->cost_lock, [&](TxContext& tx) {
+    critical(costs_->cost_lock, TLE_TX_SITE("videnc/cost_row"),
+             [&](TxContext& tx) {
       tx.no_quiesce();
       tx.write(costs_->bits, tx.read(costs_->bits) + bits);
       tx.write(costs_->sad, tx.read(costs_->sad) + sad);
     });
     // EncoderRow lock: shared frame-completion state.
     bool frame_done = false;
-    critical(encoder_row_lock_, [&](TxContext& tx) {
+    critical(encoder_row_lock_, TLE_TX_SITE("videnc/row_done"),
+             [&](TxContext& tx) {
       const int done = tx.read(rows_completed_) + 1;
       tx.write(rows_completed_, done);
       frame_done = done == rows_;
@@ -209,7 +212,8 @@ class FrameJob {
       out->insert(out->end(), bytes.begin(), bytes.end());
     }
     const std::uint64_t sse = plane_sse(src_.luma, recon_->recon);
-    critical(costs_->cost_lock, [&](TxContext& tx) {
+    critical(costs_->cost_lock, TLE_TX_SITE("videnc/cost_sse"),
+             [&](TxContext& tx) {
       tx.no_quiesce();
       tx.write(costs_->sse, tx.read(costs_->sse) + sse);
     });
@@ -237,7 +241,8 @@ class FrameJob {
     if (r == slice_first_row(r) && (src_.intra_only || !ref_)) return;
     for (long spins = 0;; ++spins) {
       bool ok = false;
-      critical(ctu_rows_lock_, [&](TxContext& tx) {
+      critical(ctu_rows_lock_, TLE_TX_SITE("videnc/ctu_deps_wait"),
+               [&](TxContext& tx) {
         ok = deps_satisfied(tx, r, c);
         if (!ok) {
           tx.no_quiesce();
@@ -258,7 +263,8 @@ class FrameJob {
   }
 
   void publish_ctu_done(int r, int c) {
-    critical(ctu_rows_lock_, [&](TxContext& tx) {
+    critical(ctu_rows_lock_, TLE_TX_SITE("videnc/ctu_publish"),
+             [&](TxContext& tx) {
       tx.no_quiesce();
       tx.write(row_progress_[r], c + 1);
       ctu_rows_cv_.notify_all(tx);
@@ -272,7 +278,7 @@ class FrameJob {
   /// deterministic.
   long read_mv_hint(int r, int c) {
     long hint = 0;
-    critical(pme_lock_, [&](TxContext& tx) {
+    critical(pme_lock_, TLE_TX_SITE("videnc/pme_read"), [&](TxContext& tx) {
       tx.no_quiesce();
       hint = tx.read(ctu_mv_[static_cast<std::size_t>(r - 1) * cols_ + c]);
     });
@@ -280,7 +286,7 @@ class FrameJob {
   }
 
   void write_mv_hint(int r, int c, long mv) {
-    critical(pme_lock_, [&](TxContext& tx) {
+    critical(pme_lock_, TLE_TX_SITE("videnc/pme_write"), [&](TxContext& tx) {
       tx.no_quiesce();
       tx.write(ctu_mv_[static_cast<std::size_t>(r) * cols_ + c], mv);
     });

@@ -31,7 +31,8 @@ REQUIRED_COUNTERS = [
     "noquiesce_requests", "noquiesce_honored", "noquiesce_ignored_nested",
     "noquiesce_ignored_free", "tm_allocs", "tm_frees", "deferred_run",
     "condvar_waits", "condvar_timeouts", "htm_retries", "stm_read_dedup",
-    "htm_read_dedup", "htm_rw_hits",
+    "htm_read_dedup", "htm_rw_hits", "faults_injected", "fault_delays",
+    "fault_forced_serial", "fault_forced_flush",
 ]
 
 ABORT_CAUSES = ["conflict", "validation", "capacity", "unsafe",

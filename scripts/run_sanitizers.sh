@@ -19,7 +19,7 @@ cd "$(dirname "$0")/.."
 
 PRESET=${1:-all}
 CXX=${CXX:-g++}
-TM_SRCS="src/tm/engine.cpp src/tm/registry.cpp src/tm/runtime.cpp src/tm/audit.cpp src/tm/trace.cpp src/tm/obs/site.cpp src/tm/obs/export.cpp"
+TM_SRCS="src/tm/engine.cpp src/tm/registry.cpp src/tm/runtime.cpp src/tm/audit.cpp src/tm/trace.cpp src/tm/fault/fault.cpp src/tm/obs/site.cpp src/tm/obs/export.cpp"
 LIBS="-lgtest -lgtest_main -pthread"
 OUT=$(mktemp -d)
 trap 'rm -rf "$OUT"' EXIT
@@ -27,11 +27,17 @@ trap 'rm -rf "$OUT"' EXIT
 # suite -> extra sources beyond the TM core.
 suite_extra() {
   case "$1" in
-    tm_privatization_test|sync_stress_test) echo "src/sync/tx_condvar.cpp" ;;
+    tm_privatization_test|sync_stress_test|fault_injection_test) echo "src/sync/tx_condvar.cpp" ;;
     *) echo "" ;;
   esac
 }
-SUITES="tm_core_test tm_privatization_test dstruct_test tm_engine_edge_test quiesce_stress_test sync_stress_test obs_test"
+SUITES="tm_core_test tm_privatization_test dstruct_test tm_engine_edge_test quiesce_stress_test sync_stress_test obs_test fault_injection_test"
+
+# Seeded fault matrix: rerun the suites most sensitive to the perturbed
+# windows with the env-armed chaos plan, so the sanitizers watch the Dekker
+# handshakes while injection drives aborts and delays through them.
+FAULT_SUITES="tm_core_test sync_stress_test quiesce_stress_test"
+FAULT_SEED=20260806
 
 run_preset() {
   local name=$1 flags=$2
@@ -42,6 +48,10 @@ run_preset() {
       "tests/$test.cpp" $TM_SRCS $(suite_extra "$test") $LIBS \
       -o "$OUT/$test-$name"
     "$OUT/$test-$name"
+  done
+  for test in $FAULT_SUITES; do
+    echo "== $test ($name, TLE_FAULT_SEED=$FAULT_SEED)"
+    TLE_FAULT_SEED=$FAULT_SEED "$OUT/$test-$name"
   done
 }
 

@@ -24,15 +24,21 @@
 // itself on the condvar's waiter list and blocks on its per-thread POSIX
 // semaphore *after* its transaction commits (after unlock, in Lock mode).
 // Because a notifier's deferred signal can race ahead of a committed
-// waiter's deferred enqueue, the condvar holds a bounded pending-signal
-// counter: a signal with no waiter present is banked and consumed by the
-// next enqueue. This banks at most kPendingCap spurious wakeups, which the
-// re-check loop absorbs — never a lost wakeup.
+// waiter's deferred enqueue, the condvar holds a pending-signal counter: a
+// signal arriving in that window is banked and consumed by the next
+// enqueue. The bank is bounded by the number of waiters actually inside the
+// window — wait() transactionally announces the intent to block, and a
+// signal only banks up to announced-minus-enqueued — so a notify with
+// nobody in flight banks nothing and cannot make later unrelated waits
+// return without blocking. Whatever is banked is at worst a spurious
+// wakeup, which the re-check loop absorbs — never a lost wakeup.
 //
 // In StmSpin mode wait() degenerates to a yield, reproducing the paper's
 // "STM + Spin" configuration (threads repeatedly poll their condition in a
 // small transaction).
 #pragma once
+
+#include <time.h>
 
 #include <chrono>
 #include <cstdint>
@@ -69,10 +75,17 @@ class tx_condvar {
   /// Waiters currently blocked (approximate; for tests/monitoring).
   int waiter_count() const;
 
+  /// The clock timed waits measure against: CLOCK_MONOTONIC where the libc
+  /// provides sem_clockwait (glibc >= 2.30), else the CLOCK_REALTIME +
+  /// sem_timedwait fallback. Exposed so tests can pin the no-wall-clock
+  /// guarantee on platforms that have it.
+  static clockid_t timed_wait_clock() noexcept;
+
  private:
   struct Impl;
   Impl* impl_;
 
+  void announce(TxContext& tx);
   void block(bool timed, std::chrono::nanoseconds timeout);
 };
 

@@ -25,6 +25,7 @@
 
 #include "tm/audit.hpp"
 #include "tm/config.hpp"
+#include "tm/fault/fault.hpp"
 #include "tm/obs/site.hpp"
 #include "tm/txdesc.hpp"
 
@@ -252,6 +253,14 @@ void run_transaction(F&& body, std::uint16_t site = 0) {
   tx.site = site;
   tx.attempts = 0;
   tx.force_serial = tx.attr_prefer_serial;
+  // Fault-injection point: force this logical transaction straight into the
+  // irrevocable path, exercising serial entry/exit and everything that
+  // contends with it. Counted separately from serial_fallbacks, which keeps
+  // meaning "speculation gave up".
+  if (fault::active() && fault::should_force_serial()) {
+    tx.force_serial = true;
+    tx.stats->bump(tx.stats->fault_forced_serial);
+  }
   const RuntimeConfig& cfg = config();
   if (cfg.mode == ExecMode::Lock) {
     // atomic_do without a mutex in Lock mode: fall back to serial execution

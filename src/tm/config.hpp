@@ -83,7 +83,9 @@ struct RuntimeConfig {
   /// processes) — the failure class that dominated the paper's TSX runs
   /// (13–18% of PBZip2 transactions fell back after two such aborts).
   /// 0 (the default) keeps tests deterministic; benchmarks reproducing the
-  /// paper's HTM statistics set it to a calibrated value.
+  /// paper's HTM statistics set it to a calibrated value. For reproducible,
+  /// cause- and site-targeted failure drills use the generalization of this
+  /// knob: the seeded plans of tm/fault/fault.hpp (TLE_FAULT_SEED).
   double htm_spurious_abort_rate = 0.0;
 
   /// Ablation A3: when true, each elidable_mutex forms its own quiescence

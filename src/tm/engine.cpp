@@ -17,6 +17,7 @@
 #include <cstdlib>
 
 #include "tm/audit.hpp"
+#include "tm/fault/fault.hpp"
 #include "tm/obs/site.hpp"
 #include "tm/serial_lock.hpp"
 #include "tm/trace.hpp"
@@ -32,6 +33,25 @@ std::atomic<std::uint64_t>& gl_lock() noexcept;
 namespace {
 
 TxStats& st(TxDesc& tx) noexcept { return *tx.stats; }
+
+/// Fault-injection decision point: consult the armed plan at `h` and abort
+/// with the injected cause if a rule fires. The abort takes the ordinary
+/// tx_abort path, so rollback, per-cause stats, per-site obs attribution and
+/// the retry/serial-fallback policy all treat it exactly like an organic
+/// abort — only the extra faults_injected row distinguishes it.
+inline void maybe_inject(TxDesc& tx, fault::Hook h) {
+  if (!fault::active()) return;
+  const AbortCause cause = fault::should_abort(h);
+  if (cause == AbortCause::None) return;
+  st(tx).bump(st(tx).faults_injected);
+  tx_abort(tx, cause);
+}
+
+/// Schedule-perturbation point: widen the handshake window at `h` with the
+/// plan's yield/sleep, accounting the delay to `stats`.
+inline void maybe_perturb(TxStats& stats, fault::Hook h) {
+  if (fault::active() && fault::perturb(h)) stats.bump(stats.fault_delays);
+}
 
 // Observability helpers: logged-set sizes for the flight recorder, read
 // while the logs are still intact (i.e. before clear_logs()).
@@ -57,6 +77,9 @@ void epoch_enter(TxDesc& tx) noexcept {
 }
 
 void epoch_exit(TxDesc& tx) noexcept {
+  // Perturbation point: delaying the exit keeps this slot's seq odd longer,
+  // deterministically driving quiescers into their spin-then-park path.
+  maybe_perturb(st(tx), fault::Hook::EpochExit);
   // The RMW orders the undo/write-back stores before the "done" signal a
   // quiescing privatizer synchronizes with. seq_cst (not release) is the
   // Dekker edge of the park protocol: a quiescer raises slot->parked, then
@@ -446,6 +469,7 @@ void epoch_scan(TxDesc& tx, bool domain_filter) {
       // sees the other; atomic::wait itself re-checks the value, so a
       // stale notify cannot strand us. parked_waits is bumped BEFORE the
       // sleep so observers (stats polls, tests) can see a live park.
+      maybe_perturb(s, fault::Hook::EpochScan);
       peer.parked.fetch_add(1, std::memory_order_seq_cst);
       const std::uint64_t cur = peer.seq.load(std::memory_order_seq_cst);
       if (cur == snap[k]) {
@@ -531,6 +555,7 @@ void grace_sync(TxDesc& tx) {
       spin_pause(spin++);
       ++total_spins;
     }
+    maybe_perturb(s, fault::Hook::GraceWait);
     g.parked.fetch_add(1, std::memory_order_seq_cst);
     if (g.completed.load(std::memory_order_seq_cst) == c &&
         g.scanner.load(std::memory_order_seq_cst) != 0) {
@@ -662,9 +687,15 @@ void tx_begin_speculative(TxDesc& tx) {
   } else {
     htm_begin(tx);
   }
+  // After the engine begin so the abort rolls back a fully-formed attempt.
+  maybe_inject(tx, fault::Hook::Begin);
 }
 
 void tx_commit_speculative(TxDesc& tx) {
+  // Before publication: the injected abort must be able to roll back. This
+  // generalizes the htm_spurious_abort_rate poll in htm_commit to every
+  // engine and every injectable cause.
+  maybe_inject(tx, fault::Hook::Commit);
   if (tx.access == AccessMode::Stm)
     tx.algo == StmAlgo::GlWt ? glwt_commit(tx) : stm_commit(tx);
   else
@@ -742,8 +773,17 @@ void tx_post_commit(TxDesc& tx) {
   // one only when the list outgrows the configured bound. Engines that
   // never quiesce for ordering (HTM, the Never policy) thus pay one grace
   // per limbo_max_pending frees instead of one per freeing commit.
+  // The fault plan is consulted on EVERY post-commit (not just ones with a
+  // non-empty limbo) so the injection event counter advances at a rate that
+  // depends only on this thread's workload, never on grace timing.
+  bool fault_flush = false;
+  if (fault::active() && fault::should_force_flush()) {
+    fault_flush = !tx.limbo.empty();
+    if (fault_flush) s.bump(s.fault_forced_flush);
+  }
   if (!tx.limbo.empty())
-    limbo_drain(tx, /*force=*/tx.limbo_pending > config().limbo_max_pending);
+    limbo_drain(tx, /*force=*/fault_flush ||
+                        tx.limbo_pending > config().limbo_max_pending);
   // --- deferred actions (Section VI-c logging, condvar ops) ---------------
   for (auto& fn : tx.deferred) {
     fn();
@@ -875,9 +915,11 @@ std::uint64_t tx_read_word(TxDesc& tx, const std::atomic<std::uint64_t>& cell) {
     case AccessMode::Direct:
       return cell.load(std::memory_order_relaxed);
     case AccessMode::Stm:
+      maybe_inject(tx, fault::Hook::Read);
       return tx.algo == StmAlgo::GlWt ? glwt_read(tx, cell)
                                       : stm_read(tx, cell);
     case AccessMode::Htm:
+      maybe_inject(tx, fault::Hook::Read);
       return htm_read(tx, cell);
   }
   __builtin_unreachable();
@@ -890,12 +932,14 @@ void tx_write_word(TxDesc& tx, std::atomic<std::uint64_t>& cell,
       cell.store(value, std::memory_order_relaxed);
       return;
     case AccessMode::Stm:
+      maybe_inject(tx, fault::Hook::Write);
       if (tx.algo == StmAlgo::GlWt)
         glwt_write(tx, cell, value);
       else
         stm_write(tx, cell, value);
       return;
     case AccessMode::Htm:
+      maybe_inject(tx, fault::Hook::Write);
       htm_write(tx, cell, value);
       return;
   }

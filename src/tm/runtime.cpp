@@ -163,7 +163,9 @@ std::string StatsSnapshot::report() const {
       "deferred actions      %12llu\n"
       "condvar waits/timeouts%12llu / %llu\n"
       "htm retries           %12llu\n"
-      "read dedup stm/htm    %12llu / %llu (htm write-buffer hits %llu)\n",
+      "read dedup stm/htm    %12llu / %llu (htm write-buffer hits %llu)\n"
+      "faults inj/delays     %12llu / %llu (forced: serial %llu, flush "
+      "%llu)\n",
       (unsigned long long)txn_starts, (unsigned long long)commits,
       (unsigned long long)commits_readonly, (unsigned long long)serial_commits,
       (unsigned long long)serial_fallbacks, (unsigned long long)lock_sections,
@@ -189,7 +191,10 @@ std::string StatsSnapshot::report() const {
       (unsigned long long)deferred_run, (unsigned long long)condvar_waits,
       (unsigned long long)condvar_timeouts, (unsigned long long)htm_retries,
       (unsigned long long)stm_read_dedup, (unsigned long long)htm_read_dedup,
-      (unsigned long long)htm_rw_hits);
+      (unsigned long long)htm_rw_hits, (unsigned long long)faults_injected,
+      (unsigned long long)fault_delays,
+      (unsigned long long)fault_forced_serial,
+      (unsigned long long)fault_forced_flush);
   return std::string(buf, buf + (n < 0 ? 0 : n));
 }
 

@@ -16,6 +16,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "tm/fault/fault.hpp"
 #include "tm/registry.hpp"
 
 namespace tle {
@@ -35,6 +36,11 @@ class SerialLock {
       // back-out must mirror read_unlock: a draining writer may already
       // have parked on our sl_reader (it saw the store above), so the
       // plain store alone would never wake it — missed-wakeup deadlock.
+      // Perturbation point: holding the raised flag here gives a draining
+      // writer time to pass its spin limit and park on it, making that
+      // missed-wakeup interleaving deterministically reachable.
+      if (fault::active() && fault::perturb(fault::Hook::SlReadBackout))
+        me.stats.bump(me.stats.fault_delays);
       read_unlock(me);
       unsigned spin = 0;
       const unsigned spin_limit = config().park_spin_limit;
@@ -107,6 +113,10 @@ class SerialLock {
           spin_pause(s++);
           continue;
         }
+        // Perturbation point: a delay between raising parked and the
+        // re-read stretches the Dekker window against a backing-out reader.
+        if (fault::active() && fault::perturb(fault::Hook::SlWriteDrain))
+          me.stats.bump(me.stats.fault_delays);
         slots[i].parked.fetch_add(1, std::memory_order_seq_cst);
         if (slots[i].sl_reader.load(std::memory_order_seq_cst) != 0) {
           me.stats.bump(me.stats.parked_waits);
@@ -117,9 +127,15 @@ class SerialLock {
     }
   }
 
-  void write_unlock(ThreadSlot&) noexcept {
+  void write_unlock(ThreadSlot& me) noexcept {
     writer_.store(0, std::memory_order_seq_cst);
     if (wr_parked_.load(std::memory_order_seq_cst) != 0) writer_.notify_all();
+    // Perturbation point: between the writer-token release and the pending_
+    // drop, a successor writer can take the token while excluded readers
+    // still see pending_ != 0 — the handoff window the Dekker edges below
+    // must survive.
+    if (fault::active() && fault::perturb(fault::Hook::SlWriteUnlock))
+      me.stats.bump(me.stats.fault_delays);
     pending_.fetch_sub(1, std::memory_order_seq_cst);
     if (rd_parked_.load(std::memory_order_seq_cst) != 0)
       pending_.notify_all();

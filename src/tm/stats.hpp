@@ -51,7 +51,11 @@ namespace tle {
   X(htm_retries, "HTM re-attempts after an abort")                          \
   X(stm_read_dedup, "ml_wt repeat reads absorbed by the filter")            \
   X(htm_read_dedup, "HTM repeat reads served from the value log")           \
-  X(htm_rw_hits, "HTM reads served from the write buffer")
+  X(htm_rw_hits, "HTM reads served from the write buffer")                  \
+  X(faults_injected, "aborts fired by the fault-injection plan")            \
+  X(fault_delays, "schedule perturbations executed by the plan")            \
+  X(fault_forced_serial, "serial-mode entries forced by the plan")          \
+  X(fault_forced_flush, "limbo flushes forced by the plan")
 
 /// Number of scalar counters in the X-macro (excludes the abort array).
 inline constexpr int kTxStatsCounterCount = 0

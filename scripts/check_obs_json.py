@@ -32,7 +32,10 @@ REQUIRED_COUNTERS = [
     "noquiesce_ignored_free", "tm_allocs", "tm_frees", "deferred_run",
     "condvar_waits", "condvar_timeouts", "htm_retries", "stm_read_dedup",
     "htm_read_dedup", "htm_rw_hits", "faults_injected", "fault_delays",
-    "fault_forced_serial", "fault_forced_flush",
+    "fault_forced_serial", "fault_forced_flush", "gov_serial_immediate",
+    "gov_backoffs", "gov_immediate_retries", "gov_drain_waits",
+    "gov_drain_timeouts", "gov_storm_enters", "gov_storm_exits",
+    "gov_storm_gated", "gov_watchdog_escalations", "gov_stall_events",
 ]
 
 ABORT_CAUSES = ["conflict", "validation", "capacity", "unsafe",
@@ -40,7 +43,8 @@ ABORT_CAUSES = ["conflict", "validation", "capacity", "unsafe",
 
 SITE_FIELDS = ["id", "name", "file", "line", "attempts", "commits",
                "serial_fallbacks", "serial_commits", "lock_sections",
-               "htm_retries", "quiesce_waits", "aborts", "aborts_total",
+               "htm_retries", "quiesce_waits", "drain_waits", "storm_gated",
+               "watchdog_escalations", "aborts", "aborts_total",
                "attempt_ns_hist", "quiesce_ns_hist"]
 
 failures = []

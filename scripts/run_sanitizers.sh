@@ -3,9 +3,11 @@
 # runtime's memory and ordering tricks: the TM core (longjmp rollback,
 # allocation logs), privatization (quiesce-before-free), the data
 # structures (node reclamation under concurrency), the engine edge cases,
-# the quiescence substrate (grace sharing, parking, limbo reclamation), and
-# the observability layer (seqlock trace ring under concurrent
-# emit/snapshot/reset, per-site counter tables).
+# the quiescence substrate (grace sharing, parking, limbo reclamation), the
+# observability layer (seqlock trace ring under concurrent
+# emit/snapshot/reset, per-site counter tables), and the contention
+# governor (storm-window folding, token gate, drain waits under racing
+# serial writers).
 #
 #   asan  — AddressSanitizer + UBSan: catches use-after-free of limbo'd
 #           nodes, i.e. frees released before a covering grace period.
@@ -19,7 +21,7 @@ cd "$(dirname "$0")/.."
 
 PRESET=${1:-all}
 CXX=${CXX:-g++}
-TM_SRCS="src/tm/engine.cpp src/tm/registry.cpp src/tm/runtime.cpp src/tm/audit.cpp src/tm/trace.cpp src/tm/fault/fault.cpp src/tm/obs/site.cpp src/tm/obs/export.cpp"
+TM_SRCS="src/tm/engine.cpp src/tm/registry.cpp src/tm/runtime.cpp src/tm/audit.cpp src/tm/trace.cpp src/tm/fault/fault.cpp src/tm/governor/governor.cpp src/tm/obs/site.cpp src/tm/obs/export.cpp"
 LIBS="-lgtest -lgtest_main -pthread"
 OUT=$(mktemp -d)
 trap 'rm -rf "$OUT"' EXIT
@@ -31,7 +33,7 @@ suite_extra() {
     *) echo "" ;;
   esac
 }
-SUITES="tm_core_test tm_privatization_test dstruct_test tm_engine_edge_test quiesce_stress_test sync_stress_test obs_test fault_injection_test"
+SUITES="tm_core_test tm_privatization_test dstruct_test tm_engine_edge_test quiesce_stress_test sync_stress_test obs_test fault_injection_test governor_test"
 
 # Seeded fault matrix: rerun the suites most sensitive to the perturbed
 # windows with the env-armed chaos plan, so the sanitizers watch the Dekker

@@ -131,6 +131,52 @@ def summarize_quiesce(path):
             print(f"    {k:24s} {v:.2f}x")
 
 
+def summarize_governor(path):
+    """Contention-governor A/B table from BENCH_governor.json
+    ("tle-governor/v1", emitted by bench/abl_htm_retry): the retry-budget
+    sweep plus the lemming-effect cells (governor on/off) and the
+    acceptance ratios. `elided_commits_per_sec` counts only speculative
+    (lock-elided) commits — the rate a serialization convoy destroys."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"  (cannot read {path}: {e})")
+        return
+    if doc.get("schema") != "tle-governor/v1":
+        print(f"  (unexpected schema {doc.get('schema')!r} in {path})")
+        return
+    print(f"== governor: lemming-effect A/B "
+          f"({doc.get('secs_per_cell', 0)}s/cell) ==")
+    sweep = doc.get("sweep", [])
+    if sweep:
+        print("  retry sweep (ops/s by retries x threads):")
+        by_r = defaultdict(list)
+        for c in sweep:
+            by_r[c.get("retries", 0)].append(c)
+        for r, cells in sorted(by_r.items()):
+            cells.sort(key=lambda c: c.get("threads", 0))
+            parts = [f"{c.get('threads', 0)}T={c.get('ops_per_sec', 0):.3g}"
+                     for c in cells]
+            print(f"    retries={r:<3d} " + "  ".join(parts))
+    for c in doc.get("lemming", []):
+        print(f"  governor={c.get('governor', '?'):3s} "
+              f"elided/s={c.get('elided_commits_per_sec', 0):.3g} "
+              f"total/s={c.get('total_txns_per_sec', 0):.3g} "
+              f"fallbacks={c.get('serial_fallbacks', 0)} "
+              f"convoy={c.get('convoy_depth', 0):.1f} "
+              f"drains={c.get('gov_drain_waits', 0)} "
+              f"storms={c.get('gov_storm_enters', 0)} "
+              f"watchdog={c.get('gov_watchdog_escalations', 0)}")
+    acc = doc.get("acceptance", {})
+    if acc:
+        print(f"  acceptance @ {acc.get('threads', '?')}T: "
+              f"elided ratio {acc.get('commits_ratio', 0):.2f}x "
+              f"(>= 2.0), total ratio {acc.get('total_ratio', 0):.2f}x, "
+              f"fallback drop {100 * acc.get('fallback_drop', 0):.1f}% "
+              f"(>= 50%)")
+
+
 def summarize_obs(path):
     """Per-site profile table from a tle-obs/v1 document (emitted via
     TLE_STATS_DUMP=FILE by any binary linking the TM runtime, or by
@@ -186,13 +232,17 @@ def summarize_obs(path):
 def main():
     path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
 
-    # Direct mode: a tle-obs/v1 JSON as the sole argument.
+    # Direct mode: a recognized schema JSON as the sole argument.
     if path.endswith(".json"):
         try:
             with open(path) as f:
-                if json.load(f).get("schema") == "tle-obs/v1":
-                    summarize_obs(path)
-                    return
+                schema = json.load(f).get("schema")
+            if schema == "tle-obs/v1":
+                summarize_obs(path)
+                return
+            if schema == "tle-governor/v1":
+                summarize_governor(path)
+                return
         except (OSError, ValueError):
             pass
 
@@ -206,6 +256,11 @@ def main():
     quiesce = os.path.join(os.path.dirname(path) or ".", "BENCH_quiesce.json")
     if os.path.exists(quiesce):
         summarize_quiesce(quiesce)
+
+    governor = os.path.join(os.path.dirname(path) or ".",
+                            "BENCH_governor.json")
+    if os.path.exists(governor):
+        summarize_governor(governor)
 
     obs = os.path.join(os.path.dirname(path) or ".", "BENCH_obs.json")
     if os.path.exists(obs):

@@ -26,6 +26,7 @@
 #include "tm/audit.hpp"
 #include "tm/config.hpp"
 #include "tm/fault/fault.hpp"
+#include "tm/governor/governor.hpp"
 #include "tm/obs/site.hpp"
 #include "tm/txdesc.hpp"
 
@@ -207,15 +208,37 @@ decltype(auto) tm_pure(F&& fn) {
 
 /// Per-section tuning attributes — the paper's closing §VII-A suggestion
 /// ("it would be beneficial for programmers to be able to suggest retry
-/// policies on a transaction-by-transaction basis"). Zero values inherit
-/// the global RuntimeConfig.
+/// policies on a transaction-by-transaction basis"). Default values inherit
+/// the global RuntimeConfig / governor policy table.
 struct TxnAttrs {
-  int max_retries = 0;       ///< speculative attempts before serial fallback
+  /// Failed budget-consuming attempts tolerated before serial fallback.
+  /// -1 inherits the global limit; 0 means "one attempt, then serial"
+  /// (matching htm_max_retries = 0 — see config.hpp). Negative values other
+  /// than -1 are invalid.
+  int max_retries = -1;
   bool prefer_serial = false;  ///< skip speculation entirely (known-hostile
                                ///< sections, e.g. huge footprints)
+  /// Per-cause governor disposition overrides; Disposition::Inherit (the
+  /// default) keeps the global policy table. Index with on_abort() below.
+  gov::Disposition on_abort_disp[static_cast<int>(AbortCause::kCount)] = {};
+
+  /// Builder-style override: `TxnAttrs{}.with(AbortCause::Capacity,
+  /// gov::Disposition::Backoff)` restores retrying for a cause.
+  TxnAttrs& with(AbortCause cause, gov::Disposition d) noexcept {
+    on_abort_disp[static_cast<int>(cause)] = d;
+    return *this;
+  }
 };
 
 namespace detail {
+
+/// Speculation gave up (budget, policy, or watchdog): account the fallback.
+inline void note_serial_fallback(TxDesc& tx) noexcept {
+  tx.stats->bump(tx.stats->serial_fallbacks);
+  if (obs::profiling_enabled())
+    obs::site_counters(tx.slot_id, tx.site)
+        .serial_fallbacks.fetch_add(1, std::memory_order_relaxed);
+}
 
 /// Run `body` irrevocably under the serial token.
 template <typename F>
@@ -252,6 +275,8 @@ void run_transaction(F&& body, std::uint16_t site = 0) {
 
   tx.site = site;
   tx.attempts = 0;
+  tx.budget_used = 0;
+  tx.txn_start_ns = 0;
   tx.force_serial = tx.attr_prefer_serial;
   // Fault-injection point: force this logical transaction straight into the
   // irrevocable path, exercising serial entry/exit and everything that
@@ -269,10 +294,20 @@ void run_transaction(F&& body, std::uint16_t site = 0) {
     return;
   }
 
+  // Storm tokens outlive individual attempts (a retrying transaction keeps
+  // its admission); the guard returns a held token on every exit — commit,
+  // serial escalation, or a user exception unwinding through us.
+  gov::TokenGuard gov_guard(tx);
   for (;;) {
     if (tx.force_serial) {
       run_serial(tx, body);
       return;
+    }
+    if (cfg.governor && !gov::admit(tx)) {
+      // Starved at the storm gate: the watchdog escalated us to serial.
+      note_serial_fallback(tx);
+      tx.force_serial = true;
+      continue;
     }
     // NOTE: locals of this frame mutated after setjmp live in TxDesc, never
     // in the frame, so no volatile is needed.
@@ -287,33 +322,36 @@ void run_transaction(F&& body, std::uint16_t site = 0) {
         throw;
       }
       tx_commit_speculative(tx);
+      if (cfg.governor) gov::on_commit(tx);
       tx_post_commit(tx);
       return;
     }
     // Aborted (longjmp): the descriptor is already rolled back and clean.
     ++tx.attempts;
-    int limit = cfg.mode == ExecMode::Htm ? cfg.htm_max_retries
-                                          : cfg.stm_max_retries;
-    if (tx.attr_retries > 0) limit = tx.attr_retries;  // per-section tuning
-    if (cfg.mode == ExecMode::Htm) {
+    bool serial;
+    if (cfg.governor) {
+      serial = gov::on_abort(tx) == gov::Decision::Serial;
+    } else {
+      // Cause-blind legacy policy, kept as the ablation baseline the
+      // lemming-effect benchmark measures against.
+      int limit = cfg.mode == ExecMode::Htm ? cfg.htm_max_retries
+                                            : cfg.stm_max_retries;
+      if (tx.attr_retries >= 0) limit = tx.attr_retries;  // -1 = inherit
+      if (limit < 0) limit = 0;  // validate_config() rejects negatives
+      serial = tx.last_abort == AbortCause::Unsafe ||
+               tx.attempts >= static_cast<unsigned>(limit);
+      if (!serial) tx_backoff(tx);
+    }
+    if (serial) {
+      tx.force_serial = true;
+      note_serial_fallback(tx);
+    } else if (cfg.mode == ExecMode::Htm) {
+      // An HTM "retry" is an abort followed by another hardware attempt;
+      // the abort that sends us serial is a fallback, not a retry.
       tx.stats->bump(tx.stats->htm_retries);
       if (obs::profiling_enabled())
         obs::site_counters(tx.slot_id, tx.site)
             .htm_retries.fetch_add(1, std::memory_order_relaxed);
-    }
-    if (tx.last_abort == AbortCause::Unsafe) {
-      // Irrevocable operation attempted: retrying speculatively is futile.
-      tx.force_serial = true;
-    } else if (tx.attempts >= static_cast<unsigned>(limit > 0 ? limit : 1)) {
-      tx.force_serial = true;
-    } else {
-      tx_backoff(tx);
-    }
-    if (tx.force_serial) {
-      tx.stats->bump(tx.stats->serial_fallbacks);
-      if (obs::profiling_enabled())
-        obs::site_counters(tx.slot_id, tx.site)
-            .serial_fallbacks.fetch_add(1, std::memory_order_relaxed);
     }
   }
 }
@@ -525,15 +563,21 @@ void run_transaction_with_attrs(const TxnAttrs& attrs, F&& body,
   }
   tx.attr_retries = attrs.max_retries;
   tx.attr_prefer_serial = attrs.prefer_serial;
+  for (int c = 0; c < static_cast<int>(AbortCause::kCount); ++c)
+    tx.attr_disp[c] = static_cast<std::uint8_t>(attrs.on_abort_disp[c]);
+  auto clear_attrs = [&tx]() noexcept {
+    tx.attr_retries = -1;
+    tx.attr_prefer_serial = false;
+    for (int c = 0; c < static_cast<int>(AbortCause::kCount); ++c)
+      tx.attr_disp[c] = 0;
+  };
   try {
     run_transaction(std::forward<F>(body), site);
   } catch (...) {
-    tx.attr_retries = 0;
-    tx.attr_prefer_serial = false;
+    clear_attrs();
     throw;
   }
-  tx.attr_retries = 0;
-  tx.attr_prefer_serial = false;
+  clear_attrs();
 }
 
 }  // namespace detail

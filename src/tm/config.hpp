@@ -65,9 +65,20 @@ struct RuntimeConfig {
   /// Hardware-transaction attempts before serial fallback. The paper's
   /// experiments use 2 ("fall back to a serial mode after hardware
   /// transactions fail twice").
+  ///
+  /// Retry-limit semantics (shared with stm_max_retries and the per-section
+  /// TxnAttrs::max_retries override): the value is the number of *failed*
+  /// budget-consuming speculative attempts tolerated before the section goes
+  /// serial. 2 means "fall back after hardware transactions fail twice"
+  /// (paper Section II-A); 0 means "one attempt, then serial". Negative
+  /// values are invalid — validate_config() rejects them instead of the old
+  /// behaviour of silently clamping to 1. With the governor enabled,
+  /// SerialPending drain waits do not consume this budget (see
+  /// serial_drain_timeout_ns).
   int htm_max_retries = 2;
 
   /// STM attempts before the GCC-style serialize-for-progress fallback.
+  /// Same semantics as htm_max_retries.
   int stm_max_retries = 16;
 
   /// Simulated L1D capacity model for HTM write sets: sets × ways 64-byte
@@ -104,6 +115,49 @@ struct RuntimeConfig {
   /// case memory held back by lazy reclamation).
   std::size_t limbo_max_pending = 1024;
 
+  // --- contention governor (src/tm/governor/) ----------------------------
+  // Cause-aware retry policy, abort-storm throttling, and the starvation
+  // watchdog. Off restores the cause-blind legacy policy (kept as an
+  // ablation baseline for the lemming-effect benchmark).
+
+  /// Master switch for the governor.
+  bool governor = true;
+
+  /// Bound on a SerialPending drain wait: an aborted transaction waits (spin
+  /// then timed sleep slices) for the serial lock's pending window to clear
+  /// before re-attempting, WITHOUT consuming retry budget — the anti-lemming
+  /// rule. If the window is still busy after this many nanoseconds the wait
+  /// gives up and the abort consumes budget like any other.
+  std::uint64_t serial_drain_timeout_ns = 2'000'000;
+
+  /// Abort-storm hysteresis: the storm gate engages when the sliding-window
+  /// abort rate reaches storm_on_rate and releases when it falls back to
+  /// storm_off_rate. Rates are aborts/attempts in [0,1]; off must not
+  /// exceed on (validate_config()).
+  double storm_on_rate = 0.85;
+  double storm_off_rate = 0.50;
+
+  /// Speculative attempts a thread accumulates locally before folding its
+  /// window into the global abort-rate estimate (no hot-path shared writes).
+  /// Must be >= 1.
+  unsigned storm_window = 64;
+
+  /// Concurrency admitted through the storm gate while a storm is active.
+  /// Must be >= 1 (a zero throttle would deadlock the gate).
+  unsigned storm_tokens = 2;
+
+  /// Starvation watchdog: a logical transaction whose abort count reaches
+  /// watchdog_max_attempts, or whose wall-clock age since its first abort
+  /// reaches watchdog_deadline_ns, is escalated to serial mode regardless of
+  /// abort cause or remaining budget. 0 disables the respective bound.
+  unsigned watchdog_max_attempts = 64;
+  std::uint64_t watchdog_deadline_ns = 50'000'000;
+
+  /// Stall detector: a quiescence wait or serial-drain wait that blocks for
+  /// at least this long counts as a stall (gov_stall_events + a flight
+  /// recorder event). 0 disables detection.
+  std::uint64_t watchdog_stall_ns = 100'000'000;
+
   /// Returns true if `mode` executes critical sections as STM transactions.
   bool is_stm() const noexcept {
     return mode == ExecMode::StmSpin || mode == ExecMode::StmCondVar ||
@@ -113,6 +167,13 @@ struct RuntimeConfig {
 
 /// The process-wide configuration (defined in runtime.cpp).
 RuntimeConfig& config() noexcept;
+
+/// Coherence check for a configuration about to be installed: returns
+/// nullptr when `cfg` is valid, else a static string naming the first
+/// violation (negative retry limits, storm rates outside [0,1] or inverted
+/// hysteresis, zero storm window/tokens, spurious rate outside [0,1]).
+/// Rejecting here replaces the retry loop's old silent clamping.
+const char* validate_config(const RuntimeConfig& cfg) noexcept;
 
 /// Convenience: set `mode` plus the quiescence settings the paper pairs with
 /// it (NoQ mode honors TM_NoQuiesce; all STM modes quiesce Always).

@@ -628,7 +628,11 @@ void limbo_drain(TxDesc& tx, bool force) {
 void quiesce_wait(TxDesc& tx, bool all_domains) {
   st(tx).bump(st(tx).quiesce_calls);
   const std::uint32_t ob = obs::flags();
-  const std::uint64_t t0 = ob ? now_ns() : 0;
+  const RuntimeConfig& cfg = config();
+  // The governor's stall detector also needs the wait measured when the
+  // obs layer is dark.
+  const bool stall_chk = cfg.governor && cfg.watchdog_stall_ns != 0;
+  const std::uint64_t t0 = (ob || stall_chk) ? now_ns() : 0;
   const std::uint64_t waits_before =
       ob & obs::kProfileBit
           ? st(tx).quiesce_waits.load(std::memory_order_relaxed)
@@ -641,8 +645,14 @@ void quiesce_wait(TxDesc& tx, bool all_domains) {
   } else {
     grace_sync(tx);
   }
-  if (ob) {
+  if (ob || stall_chk) {
     const std::uint64_t dur = now_ns() - t0;
+    if (stall_chk && dur >= cfg.watchdog_stall_ns) {
+      st(tx).bump(st(tx).gov_stall_events);
+      if (ob & obs::kTraceBit)
+        trace::emit(trace::Event::WatchdogEscalate, AbortCause::None, tx.site,
+                    0, 0, 0, dur);
+    }
     if (ob & obs::kProfileBit) {
       obs::SiteCounters& sc = obs::site_counters(tx.slot_id, tx.site);
       sc.quiesce_ns.add(dur);
@@ -659,13 +669,54 @@ void quiesce_wait(TxDesc& tx, bool all_domains) {
 // Shared speculative lifecycle
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Abort an attempt that died at begin, before read_lock/epoch_enter: there
+/// is no engine state, epoch slot, or read-side registration to undo, so
+/// tx_abort's rollback sequence would corrupt state it never acquired.
+[[noreturn]] void tx_abort_at_begin(TxDesc& tx, AbortCause cause) {
+  st(tx).bump(st(tx).aborts[static_cast<int>(cause)]);
+  const std::uint32_t ob = obs::flags();
+  if (ob) {
+    const std::uint64_t dur = now_ns() - tx.obs_t0;
+    if (ob & obs::kProfileBit) {
+      obs::SiteCounters& sc = obs::site_counters(tx.slot_id, tx.site);
+      sc.aborts[static_cast<int>(cause)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+      sc.attempt_ns.add(dur);
+    }
+    if (ob & obs::kTraceBit)
+      trace::emit(trace::Event::Abort, cause, tx.site,
+                  static_cast<std::uint16_t>(tx.attempts), 0, 0, dur);
+  }
+  tx.depth = 0;
+  tx.last_abort = cause;
+  std::longjmp(tx.env, static_cast<int>(cause));
+}
+
+}  // namespace
+
 void tx_begin_speculative(TxDesc& tx) {
   const RuntimeConfig& cfg = config();
   tx.access = cfg.mode == ExecMode::Htm ? AccessMode::Htm : AccessMode::Stm;
   tx.is_serial = false;
   tx.depth = 1;
   tx.clear_logs();
-  serial_lock().read_lock(*tx.slot);
+  if (tx.access == AccessMode::Htm) {
+    // Fallback-lock subscription: hardware elision reads the serial lock
+    // inside the transaction at xbegin, so a pending writer kills the
+    // attempt on the spot — it cannot be waited out the way the STM modes'
+    // blocking read_lock waits it out. This is the begin-side half of the
+    // lemming effect: under a cause-blind policy these instant aborts burn
+    // the whole retry budget against a lock that has not been released yet.
+    if (!serial_lock().try_read_lock(*tx.slot)) {
+      st(tx).bump(st(tx).txn_starts);
+      if (obs::flags()) tx.obs_t0 = now_ns();
+      tx_abort_at_begin(tx, AbortCause::SerialPending);
+    }
+  } else {
+    serial_lock().read_lock(*tx.slot);
+  }
   epoch_enter(tx);
   st(tx).bump(st(tx).txn_starts);
   const std::uint32_t ob = obs::flags();
@@ -719,6 +770,8 @@ void tx_commit_speculative(TxDesc& tx) {
   if (tx.read_only) st(tx).bump(st(tx).commits_readonly);
   tx.depth = 0;
   tx.attempts = 0;
+  tx.budget_used = 0;
+  tx.txn_start_ns = 0;
   tx.last_abort = AbortCause::None;
 }
 
@@ -846,6 +899,8 @@ void tx_rollback_for_exception(TxDesc& tx) {
   tx.clear_logs();
   tx.depth = 0;
   tx.attempts = 0;
+  tx.budget_used = 0;
+  tx.txn_start_ns = 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -904,6 +959,8 @@ void tx_serial_exit(TxDesc& tx) {
   tx.depth = 0;
   tx.is_serial = false;
   tx.attempts = 0;
+  tx.budget_used = 0;
+  tx.txn_start_ns = 0;
 }
 
 // ---------------------------------------------------------------------------

@@ -55,6 +55,8 @@ enum class Hook : std::uint8_t {
   GraceWait,      ///< shared grace period: piggybacker about to park
   CvEnqueue,      ///< tx_condvar: committed wait, before enqueue+sleep
   CvTimeout,      ///< tx_condvar: timed out, before the withdraw attempt
+  GovDrain,       ///< governor: before a serial-pending drain wait
+  GovGate,        ///< governor: each pass of a storm-gate admission wait
   kCount,
 };
 inline constexpr int kHookCount = static_cast<int>(Hook::kCount);

@@ -8,8 +8,17 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "tm/governor/governor.hpp"
 #include "tm/registry.hpp"
 #include "tm/stats.hpp"
+
+namespace tle::gov {
+
+std::string starvation_report() {
+  return obs::starvation_table(obs::collect_site_profiles());
+}
+
+}  // namespace tle::gov
 
 namespace tle::obs {
 
@@ -92,6 +101,9 @@ std::vector<SiteProfile> collect_site_profiles() {
       p.lock_sections += ld(c.lock_sections);
       p.htm_retries += ld(c.htm_retries);
       p.quiesce_waits += ld(c.quiesce_waits);
+      p.drain_waits += ld(c.drain_waits);
+      p.storm_gated += ld(c.storm_gated);
+      p.watchdog_escalations += ld(c.watchdog_escalations);
       for (int a = 0; a < kAbortCauseCount; ++a)
         p.aborts[a] += ld(c.aborts[a]);
       for (int b = 0; b < LatencyHist::kBuckets; ++b) {
@@ -141,6 +153,35 @@ std::string site_table(const std::vector<SiteProfile>& profiles) {
   return out;
 }
 
+std::string starvation_table(const std::vector<SiteProfile>& profiles) {
+  std::vector<SiteProfile> starved;
+  for (const SiteProfile& p : profiles)
+    if (p.watchdog_escalations || p.storm_gated || p.drain_waits)
+      starved.push_back(p);
+  if (starved.empty()) return "";
+  std::sort(starved.begin(), starved.end(),
+            [](const SiteProfile& a, const SiteProfile& b) {
+              if (a.watchdog_escalations != b.watchdog_escalations)
+                return a.watchdog_escalations > b.watchdog_escalations;
+              if (a.storm_gated != b.storm_gated)
+                return a.storm_gated > b.storm_gated;
+              return a.drain_waits > b.drain_waits;
+            });
+  std::string out;
+  out +=
+      "== governor starvation report (ranked by watchdog escalations) ==\n"
+      "site                           watchdog  gated  drains    attempts  "
+      "serial\n";
+  for (const SiteProfile& p : starved)
+    append_fmt(out, "%-28.28s %9llu %6llu %7llu %11llu %7llu\n",
+               p.info.name, (unsigned long long)p.watchdog_escalations,
+               (unsigned long long)p.storm_gated,
+               (unsigned long long)p.drain_waits,
+               (unsigned long long)p.attempts,
+               (unsigned long long)(p.serial_fallbacks + p.serial_commits));
+  return out;
+}
+
 std::string obs_json() {
   const StatsSnapshot snap = aggregate_stats();
   const std::vector<SiteProfile> profiles = collect_site_profiles();
@@ -174,13 +215,18 @@ std::string obs_json() {
     append_fmt(out,
                "\"attempts\":%llu,\"commits\":%llu,\"serial_fallbacks\":%llu,"
                "\"serial_commits\":%llu,\"lock_sections\":%llu,"
-               "\"htm_retries\":%llu,\"quiesce_waits\":%llu,",
+               "\"htm_retries\":%llu,\"quiesce_waits\":%llu,"
+               "\"drain_waits\":%llu,\"storm_gated\":%llu,"
+               "\"watchdog_escalations\":%llu,",
                (unsigned long long)p.attempts, (unsigned long long)p.commits,
                (unsigned long long)p.serial_fallbacks,
                (unsigned long long)p.serial_commits,
                (unsigned long long)p.lock_sections,
                (unsigned long long)p.htm_retries,
-               (unsigned long long)p.quiesce_waits);
+               (unsigned long long)p.quiesce_waits,
+               (unsigned long long)p.drain_waits,
+               (unsigned long long)p.storm_gated,
+               (unsigned long long)p.watchdog_escalations);
     out += "\"aborts\":{";
     for (int a = 1; a < kAbortCauseCount; ++a)
       append_fmt(out, "%s\"%s\":%llu", a == 1 ? "" : ",",
@@ -204,6 +250,21 @@ std::string chrome_trace_json(const std::vector<trace::Record>& records) {
     if (!first) out += ',';
     first = false;
   };
+
+  // Degradation windows render on their own synthetic track so storm spans
+  // are visible against every thread's slices.
+  const unsigned gov_tid = kMaxThreads;
+  bool gov_track_named = false;
+  auto name_gov_track = [&] {
+    if (gov_track_named) return;
+    gov_track_named = true;
+    sep();
+    append_fmt(out,
+               "{\"ph\":\"M\",\"pid\":1,\"tid\":%u,\"name\":\"thread_name\","
+               "\"args\":{\"name\":\"governor\"}}",
+               gov_tid);
+  };
+  std::uint64_t storm_open_ns = 0;  // ts of an unmatched StormEnter
 
   bool slot_seen[kMaxThreads] = {};
   for (const trace::Record& r : records) {
@@ -259,11 +320,63 @@ std::string chrome_trace_json(const std::vector<trace::Record>& records) {
                    "\"args\":{\"site\":\"%s\"}}",
                    r.slot, ts_us, dur_us, json_escape(site_name).c_str());
         break;
+      case trace::Event::StormEnter:
+        name_gov_track();
+        storm_open_ns = r.ts_ns;
+        break;
+      case trace::Event::StormExit:
+        name_gov_track();
+        sep();
+        // records is timestamp-sorted, so the open enter (if any) precedes
+        // us; an exit whose enter fell off the ring renders as an instant.
+        if (storm_open_ns && storm_open_ns <= r.ts_ns) {
+          append_fmt(out,
+                     "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"cat\":\"governor\","
+                     "\"name\":\"abort-storm\",\"ts\":%.3f,\"dur\":%.3f}",
+                     gov_tid, static_cast<double>(storm_open_ns) / 1e3,
+                     static_cast<double>(r.ts_ns - storm_open_ns) / 1e3);
+        } else {
+          append_fmt(out,
+                     "{\"ph\":\"i\",\"pid\":1,\"tid\":%u,\"s\":\"g\","
+                     "\"cat\":\"governor\",\"name\":\"storm-exit\","
+                     "\"ts\":%.3f}",
+                     gov_tid, static_cast<double>(r.ts_ns) / 1e3);
+        }
+        storm_open_ns = 0;
+        break;
+      case trace::Event::WatchdogEscalate:
+        sep();
+        if (r.dur_ns) {
+          // Stall detection: the record carries the measured wait.
+          append_fmt(out,
+                     "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"cat\":\"governor\","
+                     "\"name\":\"stall\",\"ts\":%.3f,\"dur\":%.3f,"
+                     "\"args\":{\"site\":\"%s\",\"cause\":\"%s\"}}",
+                     r.slot, ts_us, dur_us, json_escape(site_name).c_str(),
+                     to_string(r.cause));
+        } else {
+          append_fmt(out,
+                     "{\"ph\":\"i\",\"pid\":1,\"tid\":%u,\"s\":\"t\","
+                     "\"cat\":\"governor\",\"name\":\"watchdog:%s\","
+                     "\"ts\":%.3f,\"args\":{\"attempts\":%u}}",
+                     r.slot, json_escape(site_name).c_str(),
+                     static_cast<double>(r.ts_ns) / 1e3, r.retry);
+        }
+        break;
       case trace::Event::Begin:
       case trace::Event::SerialEnter:
         // Interval starts: already represented by the closing event's dur.
         break;
     }
+  }
+  if (storm_open_ns) {
+    // Storm still active at snapshot time: render the open window as an
+    // instant so it is not silently dropped.
+    sep();
+    append_fmt(out,
+               "{\"ph\":\"i\",\"pid\":1,\"tid\":%u,\"s\":\"g\","
+               "\"cat\":\"governor\",\"name\":\"storm-enter\",\"ts\":%.3f}",
+               gov_tid, static_cast<double>(storm_open_ns) / 1e3);
   }
   out += "]}";
   return out;
@@ -314,8 +427,10 @@ bool flag_off(const char* v) noexcept {
 
 void dump_now() {
   if (g_env.stats) {
-    const std::string table = site_table(collect_site_profiles());
-    std::fputs(table.c_str(), stderr);
+    const std::vector<SiteProfile> profiles = collect_site_profiles();
+    std::fputs(site_table(profiles).c_str(), stderr);
+    const std::string starved = starvation_table(profiles);
+    if (!starved.empty()) std::fputs(starved.c_str(), stderr);
     std::fputs(aggregate_stats().report().c_str(), stderr);
     if (g_env.stats_path && *g_env.stats_path &&
         !write_text_file(g_env.stats_path, obs_json()))

@@ -31,6 +31,9 @@ struct SiteProfile {
   std::uint64_t lock_sections = 0;
   std::uint64_t htm_retries = 0;
   std::uint64_t quiesce_waits = 0;
+  std::uint64_t drain_waits = 0;
+  std::uint64_t storm_gated = 0;
+  std::uint64_t watchdog_escalations = 0;
   std::uint64_t aborts[static_cast<int>(AbortCause::kCount)] = {};
   std::uint64_t attempt_hist[LatencyHist::kBuckets] = {};
   std::uint64_t quiesce_hist[LatencyHist::kBuckets] = {};
@@ -49,6 +52,12 @@ std::vector<SiteProfile> collect_site_profiles();
 /// Ranked (by aborts, then attempts) fixed-width table of the profiles —
 /// the Figure-4 view: per site, attempts/commits/aborts-by-cause/serial.
 std::string site_table(const std::vector<SiteProfile>& profiles);
+
+/// Ranked starvation table for the governor: sites ordered by watchdog
+/// escalations, then storm-gate waits, then drain waits. Sites with none of
+/// the three are omitted; empty string when nothing starved. (The public
+/// alias gov::starvation_report() calls this on a fresh collection.)
+std::string starvation_table(const std::vector<SiteProfile>& profiles);
 
 /// The `tle-obs/v1` document: {schema, mode, stats{...}, sites[...]}.
 /// `stats` carries every TLE_TXSTATS_COUNTERS counter by name plus the

@@ -106,6 +106,9 @@ void reset_site_profiles() noexcept {
       zero(c.lock_sections);
       zero(c.htm_retries);
       zero(c.quiesce_waits);
+      zero(c.drain_waits);
+      zero(c.storm_gated);
+      zero(c.watchdog_escalations);
       for (auto& a : c.aborts) zero(a);
       for (auto& b : c.attempt_ns.buckets) zero(b);
       for (auto& b : c.quiesce_ns.buckets) zero(b);

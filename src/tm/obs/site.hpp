@@ -83,6 +83,9 @@ struct SiteCounters {
   Counter lock_sections{0};     ///< runs under the real lock (Lock mode)
   Counter htm_retries{0};       ///< HTM re-attempts after an abort
   Counter quiesce_waits{0};     ///< post-commit quiesces that blocked
+  Counter drain_waits{0};       ///< governor serial-pending drain waits
+  Counter storm_gated{0};       ///< attempts held at the abort-storm gate
+  Counter watchdog_escalations{0};  ///< starvation escalations to serial
   Counter aborts[static_cast<int>(AbortCause::kCount)] = {};
 
   LatencyHist attempt_ns;  ///< duration of each attempt (commit or abort)

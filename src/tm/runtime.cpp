@@ -39,6 +39,23 @@ SerialLock g_serial_lock;
 
 RuntimeConfig& config() noexcept { return g_config; }
 
+const char* validate_config(const RuntimeConfig& cfg) noexcept {
+  if (cfg.htm_max_retries < 0) return "htm_max_retries must be >= 0";
+  if (cfg.stm_max_retries < 0) return "stm_max_retries must be >= 0";
+  if (cfg.htm_spurious_abort_rate < 0.0 || cfg.htm_spurious_abort_rate > 1.0)
+    return "htm_spurious_abort_rate must be in [0,1]";
+  if (cfg.storm_on_rate < 0.0 || cfg.storm_on_rate > 1.0)
+    return "storm_on_rate must be in [0,1]";
+  if (cfg.storm_off_rate < 0.0 || cfg.storm_off_rate > 1.0)
+    return "storm_off_rate must be in [0,1]";
+  if (cfg.storm_off_rate > cfg.storm_on_rate)
+    return "storm_off_rate must not exceed storm_on_rate (hysteresis)";
+  if (cfg.storm_window == 0) return "storm_window must be >= 1";
+  if (cfg.storm_tokens == 0)
+    return "storm_tokens must be >= 1 (a zero throttle deadlocks the gate)";
+  return nullptr;
+}
+
 void set_exec_mode(ExecMode mode) noexcept {
   g_config.mode = mode;
   g_config.quiesce = QuiescePolicy::Always;
@@ -140,7 +157,7 @@ void reset_stats() noexcept {
 }
 
 std::string StatsSnapshot::report() const {
-  char buf[3072];
+  char buf[4096];
   int n = std::snprintf(
       buf, sizeof buf,
       "txn starts            %12llu\n"
@@ -165,7 +182,11 @@ std::string StatsSnapshot::report() const {
       "htm retries           %12llu\n"
       "read dedup stm/htm    %12llu / %llu (htm write-buffer hits %llu)\n"
       "faults inj/delays     %12llu / %llu (forced: serial %llu, flush "
-      "%llu)\n",
+      "%llu)\n"
+      "gov dispositions      %12llu serial / %llu backoff / %llu immediate\n"
+      "gov drains/timeouts   %12llu / %llu\n"
+      "gov storm enter/exit  %12llu / %llu (gated %llu)\n"
+      "gov watchdog/stalls   %12llu / %llu\n",
       (unsigned long long)txn_starts, (unsigned long long)commits,
       (unsigned long long)commits_readonly, (unsigned long long)serial_commits,
       (unsigned long long)serial_fallbacks, (unsigned long long)lock_sections,
@@ -194,7 +215,17 @@ std::string StatsSnapshot::report() const {
       (unsigned long long)htm_rw_hits, (unsigned long long)faults_injected,
       (unsigned long long)fault_delays,
       (unsigned long long)fault_forced_serial,
-      (unsigned long long)fault_forced_flush);
+      (unsigned long long)fault_forced_flush,
+      (unsigned long long)gov_serial_immediate,
+      (unsigned long long)gov_backoffs,
+      (unsigned long long)gov_immediate_retries,
+      (unsigned long long)gov_drain_waits,
+      (unsigned long long)gov_drain_timeouts,
+      (unsigned long long)gov_storm_enters,
+      (unsigned long long)gov_storm_exits,
+      (unsigned long long)gov_storm_gated,
+      (unsigned long long)gov_watchdog_escalations,
+      (unsigned long long)gov_stall_events);
   return std::string(buf, buf + (n < 0 ? 0 : n));
 }
 

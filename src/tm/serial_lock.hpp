@@ -14,10 +14,13 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <thread>
 
 #include "tm/fault/fault.hpp"
 #include "tm/registry.hpp"
+#include "util/timing.hpp"
 
 namespace tle {
 
@@ -64,6 +67,18 @@ class SerialLock {
         rd_parked_.fetch_sub(1, std::memory_order_seq_cst);
       }
     }
+  }
+
+  /// Non-blocking read-side entry for HTM begin. Real hardware elision
+  /// subscribes to the fallback lock inside the transaction: a pending or
+  /// active serial writer aborts the speculative attempt immediately rather
+  /// than being waited out. Returns false (after backing the reader flag
+  /// out) when a writer holds or has requested the lock.
+  bool try_read_lock(ThreadSlot& me) noexcept {
+    me.sl_reader.store(1, std::memory_order_seq_cst);
+    if (pending_.load(std::memory_order_seq_cst) == 0) return true;
+    read_unlock(me);
+    return false;
   }
 
   void read_unlock(ThreadSlot& me) noexcept {
@@ -139,6 +154,39 @@ class SerialLock {
     pending_.fetch_sub(1, std::memory_order_seq_cst);
     if (rd_parked_.load(std::memory_order_seq_cst) != 0)
       pending_.notify_all();
+  }
+
+  /// Governor drain wait: block (without joining the read side) until the
+  /// pending+active writer window clears or `timeout_ns` elapses. Waiting is
+  /// a bounded spin followed by short timed sleeps — atomic::wait has no
+  /// deadline in C++20, and the serial window we are waiting out lasts
+  /// microseconds to scheduler quanta, so 50 µs slices lose nothing. Returns
+  /// true iff pending_ reached zero; `waited_ns` (if non-null) receives the
+  /// measured wait for the caller's stall accounting.
+  bool wait_drained(std::uint64_t timeout_ns,
+                    std::uint64_t* waited_ns = nullptr) noexcept {
+    if (pending_.load(std::memory_order_acquire) == 0) {
+      if (waited_ns) *waited_ns = 0;
+      return true;
+    }
+    const std::uint64_t t0 = now_ns();
+    const unsigned spin_limit = config().park_spin_limit;
+    unsigned spin = 0;
+    bool drained = false;
+    for (;;) {
+      if (pending_.load(std::memory_order_acquire) == 0) {
+        drained = true;
+        break;
+      }
+      if (now_ns() - t0 >= timeout_ns) break;
+      if (spin < spin_limit) {
+        spin_pause(spin++);
+        continue;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    if (waited_ns) *waited_ns = now_ns() - t0;
+    return drained;
   }
 
   /// Polled by speculative transactions on every access: true if they should

@@ -55,7 +55,17 @@ namespace tle {
   X(faults_injected, "aborts fired by the fault-injection plan")            \
   X(fault_delays, "schedule perturbations executed by the plan")            \
   X(fault_forced_serial, "serial-mode entries forced by the plan")          \
-  X(fault_forced_flush, "limbo flushes forced by the plan")
+  X(fault_forced_flush, "limbo flushes forced by the plan")                 \
+  X(gov_serial_immediate, "aborts escalated straight to serial by policy")  \
+  X(gov_backoffs, "aborts handled with randomized exponential backoff")     \
+  X(gov_immediate_retries, "aborts retried immediately (spurious policy)")  \
+  X(gov_drain_waits, "serial-pending drains awaited without budget burn")   \
+  X(gov_drain_timeouts, "drain waits that hit serial_drain_timeout_ns")     \
+  X(gov_storm_enters, "abort-storm gate activations")                       \
+  X(gov_storm_exits, "abort-storm gate releases")                           \
+  X(gov_storm_gated, "speculative attempts held at the storm gate")         \
+  X(gov_watchdog_escalations, "starving transactions escalated to serial")  \
+  X(gov_stall_events, "quiesce/drain stalls exceeding watchdog_stall_ns")
 
 /// Number of scalar counters in the X-macro (excludes the abort array).
 inline constexpr int kTxStatsCounterCount = 0

@@ -243,7 +243,8 @@ struct TxDesc {
   std::jmp_buf env;            ///< longjmp target: the retry loop
   unsigned attempts = 0;       ///< aborts of the current logical transaction
   bool force_serial = false;   ///< next attempt runs irrevocably
-  int attr_retries = 0;        ///< per-section retry override (0 = global)
+  int attr_retries = -1;       ///< per-section retry override (-1 = global,
+                               ///< 0 = one attempt then serial)
   bool attr_prefer_serial = false;  ///< per-section straight-to-serial hint
   AbortCause last_abort = AbortCause::None;
 
@@ -307,6 +308,20 @@ struct TxDesc {
   /// counters never moved (fast-path scans and serial sections don't
   /// publish passes).
   ZeroOnMove<std::uint64_t> limbo_certified;
+
+  // --- contention governor state ---------------------------------------
+  // Touched only at attempt boundaries (begin/abort/commit), never on the
+  // per-access hot path — kept out of the prefix above so the section-state
+  // and read/write-set index fields keep their PR-4 cache-line placement.
+  unsigned budget_used = 0;    ///< subset of `attempts` that consumed retry
+                               ///< budget (drain waits are free — governor)
+  /// Per-section gov::Disposition override by cause (0 = Inherit).
+  std::uint8_t attr_disp[static_cast<int>(AbortCause::kCount)] = {};
+  std::uint64_t txn_start_ns = 0;  ///< watchdog stamp: first abort (or first
+                                   ///< gated wait) of this logical txn
+  bool storm_token = false;        ///< holds a storm-gate admission token
+  unsigned win_attempts = 0;       ///< storm window: attempts not yet folded
+  unsigned win_aborts = 0;         ///< storm window: aborts not yet folded
 
   Xoshiro256 backoff_rng{0xC0FFEE};
 

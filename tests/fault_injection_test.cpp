@@ -231,8 +231,11 @@ TEST(FaultDeterminismTest, SameSeedSameSequenceDisjointThreadsHtm) {
   config().htm_spurious_abort_rate = 0.0;
   // Keep every retry speculative: with no serial fallback and disjoint data
   // there are no organic aborts, so cross-thread timing cannot change the
-  // per-thread event counts and the two runs must match exactly.
+  // per-thread event counts and the two runs must match exactly. The
+  // governor would route the injected capacity aborts to serial (and its
+  // serial entries would abort the other threads), so it stays off here.
   config().htm_max_retries = 1 << 20;
+  config().governor = false;
   tm_var<long> vars[4];
   auto run = [&]() -> fault::Counts {
     EXPECT_TRUE(fault::install_spec(

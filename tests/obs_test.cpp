@@ -226,10 +226,11 @@ TEST(ObsProfile, AttributesHtmCapacityOverflow) {
     tx.write(vars[8], 2L);
   });
   const obs::SiteProfile p = profile_of("obs/htm_capacity");
-  // htm_max_retries = 2: both attempts overflow, then the serial fallback.
-  EXPECT_EQ(p.attempts, 2u);
-  EXPECT_EQ(p.aborts[static_cast<int>(AbortCause::Capacity)], 2u);
-  EXPECT_GE(p.htm_retries, 1u);
+  // The governor knows a capacity overflow can never succeed on retry: one
+  // speculative attempt, straight to serial, no retry counted.
+  EXPECT_EQ(p.attempts, 1u);
+  EXPECT_EQ(p.aborts[static_cast<int>(AbortCause::Capacity)], 1u);
+  EXPECT_EQ(p.htm_retries, 0u);
   EXPECT_EQ(p.serial_fallbacks, 1u);
   EXPECT_EQ(p.serial_commits, 1u);
   EXPECT_EQ(vars[0].unsafe_get(), 1);

@@ -31,7 +31,9 @@ REQUIRED_COUNTERS = [
     "noquiesce_requests", "noquiesce_honored", "noquiesce_ignored_nested",
     "noquiesce_ignored_free", "tm_allocs", "tm_frees", "deferred_run",
     "condvar_waits", "condvar_timeouts", "htm_retries", "stm_read_dedup",
-    "htm_read_dedup", "htm_rw_hits", "faults_injected", "fault_delays",
+    "htm_read_dedup", "htm_rw_hits", "stripe_bumps",
+    "stripe_false_revalidations", "lazy_sub_commits", "gclock_advances",
+    "faults_injected", "fault_delays",
     "fault_forced_serial", "fault_forced_flush", "gov_serial_immediate",
     "gov_backoffs", "gov_immediate_retries", "gov_drain_waits",
     "gov_drain_timeouts", "gov_storm_enters", "gov_storm_exits",
@@ -39,12 +41,14 @@ REQUIRED_COUNTERS = [
 ]
 
 ABORT_CAUSES = ["conflict", "validation", "capacity", "unsafe",
-                "serial-pending", "user-explicit", "spurious"]
+                "serial-pending", "user-explicit", "spurious", "stripe-busy"]
 
 SITE_FIELDS = ["id", "name", "file", "line", "attempts", "commits",
                "serial_fallbacks", "serial_commits", "lock_sections",
                "htm_retries", "quiesce_waits", "drain_waits", "storm_gated",
-               "watchdog_escalations", "aborts", "aborts_total",
+               "watchdog_escalations", "stripe_bumps",
+               "stripe_false_revalidations", "lazy_sub_commits",
+               "aborts", "aborts_total",
                "attempt_ns_hist", "quiesce_ns_hist"]
 
 failures = []

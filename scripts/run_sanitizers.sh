@@ -7,7 +7,8 @@
 # observability layer (seqlock trace ring under concurrent
 # emit/snapshot/reset, per-site counter tables), and the contention
 # governor (storm-window folding, token gate, drain waits under racing
-# serial writers).
+# serial writers), and the striped commit sequence (per-stripe seqlock
+# acquisition/release ordering, lazy subscription, deferred gclock CAS).
 #
 #   asan  — AddressSanitizer + UBSan: catches use-after-free of limbo'd
 #           nodes, i.e. frees released before a covering grace period.
@@ -33,7 +34,7 @@ suite_extra() {
     *) echo "" ;;
   esac
 }
-SUITES="tm_core_test tm_privatization_test dstruct_test tm_engine_edge_test quiesce_stress_test sync_stress_test obs_test fault_injection_test governor_test"
+SUITES="tm_core_test tm_privatization_test dstruct_test tm_engine_edge_test quiesce_stress_test sync_stress_test obs_test fault_injection_test governor_test tm_stripe_test"
 
 # Seeded fault matrix: rerun the suites most sensitive to the perturbed
 # windows with the env-armed chaos plan, so the sanitizers watch the Dekker

@@ -177,6 +177,43 @@ def summarize_governor(path):
               f"(>= 50%)")
 
 
+def summarize_commit_scale(path):
+    """Commit-striping A/B table from BENCH_commit_scale.json
+    ("tle-commit-scale/v1", emitted by bench/abl_commit_scale): elided
+    commits/s per {workload, stripes, threads} cell plus the striped vs
+    single-sequence acceptance ratio at the widest disjoint cell."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"  (cannot read {path}: {e})")
+        return
+    if doc.get("schema") != "tle-commit-scale/v1":
+        print(f"  (unexpected schema {doc.get('schema')!r} in {path})")
+        return
+    print(f"== commit-scale: striped vs single commit sequence "
+          f"({doc.get('secs_per_cell', 0)}s/cell) ==")
+    by_cfg = defaultdict(list)
+    for c in doc.get("cells", []):
+        by_cfg[(c.get("workload", "?"), c.get("stripes", 0))].append(c)
+    for (workload, stripes), cells in sorted(by_cfg.items()):
+        cells.sort(key=lambda c: c.get("threads", 0))
+        parts = [f"{c.get('threads', 0)}T="
+                 f"{c.get('elided_commits_per_sec', 0):.3g}"
+                 for c in cells]
+        falserev = sum(c.get("stripe_false_revalidations", 0) for c in cells)
+        busy = sum(c.get("aborts_stripe_busy", 0) for c in cells)
+        tag = f"  {workload:9s} stripes={stripes:<3d} " + "  ".join(parts)
+        if falserev or busy:
+            tag += f"   (false_reval={falserev:.0f} stripe_busy={busy:.0f})"
+        print(tag)
+    acc = doc.get("acceptance", {})
+    if acc.get("commits_ratio") is not None:
+        print(f"  acceptance @ {acc.get('threads', '?')}T "
+              f"{acc.get('workload', '?')}: striped/single elided ratio "
+              f"{acc.get('commits_ratio', 0):.2f}x (>= 3.0 full run)")
+
+
 def summarize_obs(path):
     """Per-site profile table from a tle-obs/v1 document (emitted via
     TLE_STATS_DUMP=FILE by any binary linking the TM runtime, or by
@@ -243,6 +280,9 @@ def main():
             if schema == "tle-governor/v1":
                 summarize_governor(path)
                 return
+            if schema == "tle-commit-scale/v1":
+                summarize_commit_scale(path)
+                return
         except (OSError, ValueError):
             pass
 
@@ -261,6 +301,11 @@ def main():
                             "BENCH_governor.json")
     if os.path.exists(governor):
         summarize_governor(governor)
+
+    commit_scale = os.path.join(os.path.dirname(path) or ".",
+                                "BENCH_commit_scale.json")
+    if os.path.exists(commit_scale):
+        summarize_commit_scale(commit_scale)
 
     obs = os.path.join(os.path.dirname(path) or ".", "BENCH_obs.json")
     if os.path.exists(obs):

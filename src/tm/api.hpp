@@ -83,6 +83,15 @@ class tm_var {
   mutable std::atomic<std::uint64_t> cell_;
 };
 
+/// Commit-sequence stripe covering `v` under the current htm_seq_stripes
+/// setting. For tests and benchmarks that need to construct footprints with
+/// known stripe intersection (or deliberate aliasing) without re-deriving
+/// the address hash.
+template <typename T>
+unsigned stripe_of(const tm_var<T>& v) noexcept {
+  return htm_stripe_index(&v.raw());
+}
+
 // ---------------------------------------------------------------------------
 // TxContext
 // ---------------------------------------------------------------------------

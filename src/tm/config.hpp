@@ -45,13 +45,38 @@ enum class AbortCause : std::uint8_t {
   SerialPending,  ///< another thread requested/holds the serial token
   UserExplicit,   ///< user-requested cancel
   Spurious,       ///< simulated-HTM environmental abort (interrupts, etc.)
+  StripeBusy,     ///< bounded wait on an odd commit stripe expired
+                  ///< (SerialPending-class: budget-free drain-style retry)
   kCount,
+};
+
+/// When a simulated-HTM transaction subscribes to the fallback (serial)
+/// lock. The paper's hardware elision subscribes at xbegin and on every
+/// access; Dice et al. ("Hardware extensions to make lazy subscription
+/// safe", PAPERS.md) analyze why deferring the subscription to commit is
+/// unsafe without hardware support. Lazy mode exists to make that hazard
+/// observable, not to be used.
+enum class HtmSubscription : std::uint8_t {
+  Eager,  ///< subscribe at begin + per-access serial_requested() poll (safe)
+  Lazy,   ///< subscribe only at commit (UNSAFE: zombie commits possible —
+          ///< kept as the measurable reproduction of Dice et al.'s hazard)
+};
+
+/// How ml_wt commits interact with the global clock line.
+enum class StmClockMode : std::uint8_t {
+  Eager,     ///< every write commit fetch_add's gclock (TL2 GV4-style); the
+             ///< unique wv enables the skip-validation fast path
+  Deferred,  ///< GV5-style: wv = gclock+1 without the RMW; commits always
+             ///< validate, readers advance the clock on first contact with
+             ///< a fresher timestamp (de-contends the clock line)
 };
 
 const char* to_string(ExecMode m) noexcept;
 const char* to_string(StmAlgo a) noexcept;
 const char* to_string(QuiescePolicy p) noexcept;
 const char* to_string(AbortCause c) noexcept;
+const char* to_string(HtmSubscription s) noexcept;
+const char* to_string(StmClockMode m) noexcept;
 
 /// Global knobs. Mutated only between phases (never while transactions run).
 struct RuntimeConfig {
@@ -98,6 +123,20 @@ struct RuntimeConfig {
   /// cause- and site-targeted failure drills use the generalization of this
   /// knob: the seeded plans of tm/fault/fault.hpp (TLE_FAULT_SEED).
   double htm_spurious_abort_rate = 0.0;
+
+  /// Number of commit-sequence stripes the simulated HTM uses. Disjoint
+  /// write sets that land on different stripes commit concurrently and do
+  /// not invalidate each other's readers; 1 reproduces the old single
+  /// global-sequence behaviour (the A/B baseline of bench/abl_commit_scale).
+  /// Must be a power of two in [1, kHtmStripeMax] (validate_config()).
+  unsigned htm_seq_stripes = 16;
+
+  /// Fallback-lock subscription policy for the simulated HTM. Lazy is the
+  /// deliberately unsafe Dice et al. reproduction — see HtmSubscription.
+  HtmSubscription htm_subscription = HtmSubscription::Eager;
+
+  /// Global-clock commit protocol for ml_wt — see StmClockMode.
+  StmClockMode stm_clock_mode = StmClockMode::Eager;
 
   /// Ablation A3: when true, each elidable_mutex forms its own quiescence
   /// domain instead of the single erased-lock domain of Section IV-A.

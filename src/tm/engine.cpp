@@ -4,10 +4,14 @@
 //   * STM: ml_wt — encounter-time orec write locks, write-through with an
 //     undo log, TinySTM-style global-clock snapshots with timestamp
 //     extension, epoch quiescence at commit (paper Section IV).
-//   * Simulated HTM: NOrec-shaped — a global commit sequence, value-logged
-//     reads with revalidation whenever the sequence moves, buffered writes
-//     published under the sequence lock, plus an L1 capacity model and
-//     serial-pending subscription (paper Section II-A behaviours).
+//   * Simulated HTM: NOrec-shaped, with the commit sequence STRIPED — a
+//     table of padded seqlock words sharded by address (meta.hpp). A
+//     committer bumps only the stripes its write set touches (ascending
+//     acquisition); readers subscribe stripes lazily as their footprint
+//     grows and value-revalidate only entries whose stripe moved. Plus an
+//     L1 capacity model and fallback-lock subscription (paper Section II-A
+//     behaviours; eager per-access polling by default, commit-time lazy
+//     subscription as the observable Dice-et-al. hazard).
 //
 // Abort is longjmp-based: speculative bodies must confine side effects to
 // tm_var accesses, TxContext::alloc/free, and deferred actions (the same
@@ -27,7 +31,6 @@
 namespace tle {
 
 // Globals defined in runtime.cpp.
-std::atomic<std::uint64_t>& htm_seq() noexcept;
 std::atomic<std::uint64_t>& gl_lock() noexcept;
 
 namespace {
@@ -120,6 +123,22 @@ void stm_extend(TxDesc& tx) {
   tx.rv = now;
 }
 
+/// Deferred-clock mode (GV5): a committer publishes timestamps WITHOUT
+/// bumping gclock, so the first reader to meet a fresher orec pushes the
+/// clock forward instead. The CAS-max loop races benignly with peers; only
+/// the thread whose CAS lands counts the advance. After this, stm_extend's
+/// clock load observes >= ts and the triggering read can be accepted.
+void stm_note_stale(TxDesc& tx, std::uint64_t ts) {
+  if (config().stm_clock_mode != StmClockMode::Deferred) return;
+  std::uint64_t cur = gclock().load(std::memory_order_relaxed);
+  while (cur < ts) {
+    if (gclock().compare_exchange_weak(cur, ts, std::memory_order_acq_rel)) {
+      st(tx).bump(st(tx).gclock_advances);
+      return;
+    }
+  }
+}
+
 std::uint64_t stm_read(TxDesc& tx, const std::atomic<std::uint64_t>& cell) {
   if (serial_lock().serial_requested()) tx_abort(tx, AbortCause::SerialPending);
   std::atomic<std::uint64_t>& o = orec_for(&cell);
@@ -133,6 +152,7 @@ std::uint64_t stm_read(TxDesc& tx, const std::atomic<std::uint64_t>& cell) {
       tx_abort(tx, AbortCause::Conflict);
     }
     if (orec_timestamp(ov) > tx.rv) {
+      stm_note_stale(tx, orec_timestamp(ov));
       stm_extend(tx);
       continue;  // re-read under the extended snapshot
     }
@@ -167,6 +187,7 @@ void stm_write(TxDesc& tx, std::atomic<std::uint64_t>& cell,
       break;  // already own it
     }
     if (orec_timestamp(ov) > tx.rv) {
+      stm_note_stale(tx, orec_timestamp(ov));
       stm_extend(tx);
       continue;
     }
@@ -175,6 +196,7 @@ void stm_write(TxDesc& tx, std::atomic<std::uint64_t>& cell,
                                   std::memory_order_acq_rel)) {
       tx.owned_idx.insert(&o, static_cast<std::uint32_t>(tx.owned.size()));
       tx.owned.push_back({&o, ov});
+      if (orec_timestamp(ov) > tx.wv_floor) tx.wv_floor = orec_timestamp(ov);
       break;
     }
     // Lost the race; loop re-examines the new value.
@@ -189,11 +211,34 @@ void stm_begin(TxDesc& tx) {
 }
 
 void stm_commit(TxDesc& tx) {
-  if (tx.read_only) return;
-  const std::uint64_t wv =
-      gclock().fetch_add(1, std::memory_order_acq_rel) + 1;
-  // If nobody committed since we started, the read set is trivially valid.
-  if (wv != tx.rv + 1) stm_validate(tx);
+  const bool deferred = config().stm_clock_mode == StmClockMode::Deferred;
+  if (tx.read_only) {
+    // Deferred mode gives up the eager clock's per-read opacity guarantee:
+    // a concurrent commit can share our rv, so the snapshot must be
+    // re-validated before its results escape the section (GV5's documented
+    // cost — the RMW saved at every write commit is paid back only by
+    // read-only commits that actually raced one).
+    if (deferred && !tx.reads.empty()) stm_validate(tx);
+    return;
+  }
+  std::uint64_t wv;
+  if (deferred) {
+    // GV5: wv = gclock+1 WITHOUT the global RMW. The price of the saved
+    // fetch_add is that wv is not unique, so (a) the skip-validation fast
+    // path below is unsound here — always validate — and (b) wv must
+    // exceed every owned orec's previous timestamp (wv_floor) so per-orec
+    // timestamps stay strictly increasing, and this thread's own clock
+    // cache so its commit order stays monotonic.
+    wv = gclock().load(std::memory_order_acquire) + 1;
+    if (tx.clock_cache + 1 > wv) wv = tx.clock_cache + 1;
+    if (tx.wv_floor + 1 > wv) wv = tx.wv_floor + 1;
+    stm_validate(tx);
+    tx.clock_cache = wv;
+  } else {
+    wv = gclock().fetch_add(1, std::memory_order_acq_rel) + 1;
+    // If nobody committed since we started, the read set is trivially valid.
+    if (wv != tx.rv + 1) stm_validate(tx);
+  }
   for (const OwnedOrec& o : tx.owned)
     o.orec->store(orec_commit_release(o.prev, wv), std::memory_order_release);
 }
@@ -290,54 +335,116 @@ void htm_configure_capacity(TxDesc& tx) {
 
 void htm_begin(TxDesc& tx) {
   htm_configure_capacity(tx);
+  // No sequence snapshot here: stripes are subscribed lazily at first
+  // touch, so begin neither spins against an in-flight writeback (the old
+  // unbounded htm_begin wait) nor shares a line with unrelated committers.
+  tx.stripes_new_txn();
+}
+
+/// Wait out a writeback (odd sequence) on stripe `s`, bounded: after
+/// park_spin_limit pauses the attempt aborts with StripeBusy instead of
+/// spinning forever against a preempted committer (satellite of the old
+/// unbounded htm_begin/htm_revalidate spin). The governor treats StripeBusy
+/// like SerialPending — a budget-free backoff-and-retry — because the
+/// blocking writeback, like a serial window, clears on its own.
+std::uint64_t htm_stripe_wait_even(TxDesc& tx, unsigned s) {
   unsigned spin = 0;
+  const unsigned limit = config().park_spin_limit;
   for (;;) {
-    const std::uint64_t s = htm_seq().load(std::memory_order_acquire);
-    if (!(s & 1)) {
-      tx.hsnap = s;
-      return;
-    }
-    spin_pause(spin++);  // a committer is writing back
+    const std::uint64_t v = htm_stripe_seq(s).load(std::memory_order_acquire);
+    if (!(v & 1)) return v;
+    if (spin >= limit) tx_abort(tx, AbortCause::StripeBusy);
+    spin_pause(spin++);
   }
 }
 
-/// Re-validate the logged reads by value and adopt the newest even
-/// sequence. Aborts if any value changed.
-///
-/// hval_wm is the count of hreads entries known valid at hsnap; when the
-/// sequence has not moved and the whole log is covered, this is an O(1)
-/// no-op. Once the sequence HAS moved, a suffix-only recheck would be
-/// unsound for value-based validation: the commit that bumped the sequence
-/// may have overwritten any logged word, including ones validated before
-/// the bump. So the pass restarts from entry 0, advancing the watermark as
-/// it goes. The real log-length win comes from htm_read's dedup keeping
-/// the log at one entry per distinct address.
-void htm_revalidate(TxDesc& tx) {
-  unsigned spin = 0;
+/// Value-revalidate the logged entries of stripe `s` and adopt its newest
+/// even sequence. Aborts if any value changed. A pass that completes found
+/// only false invalidation (a commit to the stripe that did not overwrite
+/// anything we read — aliasing within the stripe, or ABA by value), which
+/// stripe_false_revalidations counts: it is the residual cost striping
+/// exists to shrink.
+void htm_stripe_revalidate(TxDesc& tx, unsigned s) {
   for (;;) {
-    const std::uint64_t s = htm_seq().load(std::memory_order_acquire);
-    if (s & 1) {
-      spin_pause(spin++);
-      continue;
-    }
-    if (s == tx.hsnap && tx.hval_wm == tx.hreads.size()) return;
-    tx.hval_wm = 0;
+    const std::uint64_t cur = htm_stripe_wait_even(tx, s);
+    if (cur == tx.hstripe_snap[s]) return;
     for (const HtmRead& r : tx.hreads) {
-      if (r.addr->load(std::memory_order_acquire) != r.val)
+      if (r.stripe == s && r.addr->load(std::memory_order_acquire) != r.val)
         tx_abort(tx, AbortCause::Validation);
-      ++tx.hval_wm;
     }
-    if (htm_seq().load(std::memory_order_acquire) == s) {
-      tx.hsnap = s;
-      return;
-    }
+    if (htm_stripe_seq(s).load(std::memory_order_acquire) != cur)
+      continue;  // another commit landed mid-pass: re-run against it
+    tx.hstripe_snap[s] = cur;
+    TxStats& stats = st(tx);
+    stats.bump(stats.stripe_false_revalidations);
+    const std::uint32_t ob = obs::flags();
+    if (ob & obs::kProfileBit)
+      obs::site_counters(tx.slot_id, tx.site)
+          .stripe_false_revalidations.fetch_add(1, std::memory_order_relaxed);
+    if (ob & obs::kTraceBit)
+      trace::emit(trace::Event::StripeRevalidate, AbortCause::None, tx.site,
+                  static_cast<std::uint16_t>(tx.attempts),
+                  static_cast<std::uint32_t>(s));
+    return;
   }
+}
+
+/// Bring every subscribed stripe whose sequence moved back to a validated
+/// snapshot. O(subscribed stripes) loads when nothing moved.
+void htm_revalidate_moved(TxDesc& tx) {
+  for (unsigned i = 0; i < tx.hsub_n; ++i) {
+    const unsigned s = tx.hsub[i];
+    if (htm_stripe_seq(s).load(std::memory_order_acquire) !=
+        tx.hstripe_snap[s])
+      htm_stripe_revalidate(tx, s);
+  }
+}
+
+/// True while every subscribed stripe still shows its snapshot value. Since
+/// sequences only grow, observing snap at time t proves no commit to the
+/// stripe completed (or was mid-writeback) at t — the post-read pass over
+/// this predicate is what makes the per-stripe snapshots one consistent cut.
+bool htm_stripes_current(const TxDesc& tx) noexcept {
+  for (unsigned i = 0; i < tx.hsub_n; ++i) {
+    const unsigned s = tx.hsub[i];
+    if (htm_stripe_seq(s).load(std::memory_order_acquire) !=
+        tx.hstripe_snap[s])
+      return false;
+  }
+  return true;
+}
+
+/// htm_stripe_index with a per-transaction single-entry block cache:
+/// consecutive accesses overwhelmingly stay in one 512-byte block, so the
+/// hot path is a compare instead of the multiply/shift/mask.
+inline unsigned htm_stripe_cached(TxDesc& tx, const void* addr) noexcept {
+  const std::uintptr_t block =
+      reinterpret_cast<std::uintptr_t>(addr) >> kHtmStripeBlockShift;
+  if (block != tx.hblock_cache) {
+    tx.hblock_cache = block;
+    tx.hblock_stripe = htm_stripe_index(addr);
+  }
+  return tx.hblock_stripe;
+}
+
+/// Subscribe the stripe covering `addr` (first read it covers): snapshot
+/// it and mark the cut dirty — the caller's slow path then re-checks the
+/// stripes already subscribed so the new snapshot joins a globally
+/// consistent cut. Without that, a commit spanning an old stripe and the
+/// new one could slip between the two subscriptions unnoticed.
+unsigned htm_subscribe_stripe(TxDesc& tx, const void* addr) {
+  const unsigned s = htm_stripe_cached(tx, addr);
+  if (tx.stripe_subscribed(s)) return s;
+  tx.stripe_subscribe(s, htm_stripe_wait_even(tx, s));
+  return s;
 }
 
 std::uint64_t htm_read(TxDesc& tx, const std::atomic<std::uint64_t>& cell) {
   // Real HTM transactions die the instant the fallback lock is taken; the
-  // pending-writer poll is our analog of the lock-word subscription.
-  if (serial_lock().serial_requested()) tx_abort(tx, AbortCause::SerialPending);
+  // pending-writer poll is our analog of the lock-word subscription. Lazy
+  // mode skips it by design — that omission IS the Dice et al. hazard.
+  if (!tx.htm_lazy && serial_lock().serial_requested())
+    tx_abort(tx, AbortCause::SerialPending);
 
   // Read-own-write from the store buffer: O(1). Last write wins because
   // htm_write updates buffered entries in place.
@@ -347,40 +454,60 @@ std::uint64_t htm_read(TxDesc& tx, const std::atomic<std::uint64_t>& cell) {
     return tx.hwrites[idx].val;
   }
   // Read-own-read: a repeat of a logged word is served from the value log.
-  // The logged copy is exactly the hsnap-consistent snapshot value, so the
-  // repeat neither touches shared memory nor forces a revalidation.
+  // The logged copy is exactly the snapshot-consistent value for its
+  // stripe, so the repeat neither touches shared memory nor revalidates.
   idx = tx.hread_idx.find(&cell);
   if (idx != AddrIndex::kNone) {
     st(tx).bump(st(tx).htm_read_dedup);
     return tx.hreads[idx].val;
   }
 
+  const unsigned s = htm_subscribe_stripe(tx, &cell);
   std::uint64_t val;
   for (;;) {
-    if (htm_seq().load(std::memory_order_acquire) != tx.hsnap)
-      htm_revalidate(tx);
+    if (tx.hsub_dirty) {
+      // Slow path (new subscription, or a stripe moved): re-sync every
+      // moved stripe, then re-observe ALL subscribed stripes at their
+      // snaps AFTER the load — that pass fixes the instant t0 at which
+      // the logged values and `val` were simultaneously live.
+      htm_revalidate_moved(tx);
+      val = cell.load(std::memory_order_acquire);
+      if (!htm_stripes_current(tx)) continue;
+      tx.hsub_dirty = false;
+      break;
+    }
+    // Fast path: one post-load check of the owning stripe. Seeing it still
+    // at its snap — unchanged since the t0 confirmation, sequences only
+    // grow — proves no commit touched this stripe in [t0, now], so `val`
+    // already existed at t0 and joins the consistent cut as-is. Stripes
+    // this read does not touch cannot invalidate it and are not checked.
     val = cell.load(std::memory_order_acquire);
-    if (htm_seq().load(std::memory_order_acquire) == tx.hsnap) break;
+    if (htm_stripe_seq(s).load(std::memory_order_acquire) ==
+        tx.hstripe_snap[s])
+      break;
+    tx.hsub_dirty = true;  // own stripe moved: rebuild the full cut
   }
   if (!tx.rcap.touch(&cell)) tx_abort(tx, AbortCause::Capacity);
   tx.hread_idx.insert(&cell, static_cast<std::uint32_t>(tx.hreads.size()));
-  tx.hreads.push_back({&cell, val});
-  tx.hval_wm = tx.hreads.size();  // read under hsnap: prefix stays validated
+  tx.hreads.push_back({&cell, val, s});
   return val;
 }
 
 void htm_write(TxDesc& tx, std::atomic<std::uint64_t>& cell,
                std::uint64_t value) {
-  if (serial_lock().serial_requested()) tx_abort(tx, AbortCause::SerialPending);
+  if (!tx.htm_lazy && serial_lock().serial_requested())
+    tx_abort(tx, AbortCause::SerialPending);
   if (!tx.wcap.touch(&cell)) tx_abort(tx, AbortCause::Capacity);
   // In-place upsert keeps the buffer at one entry per address while
   // preserving last-write-wins for both htm_read and commit write-back.
+  // The stripe is resolved here, once, so commit's stripe-set build is a
+  // scan of the buffer instead of a re-hash of every address.
   const std::uint32_t idx = tx.hwrite_idx.find(&cell);
   if (idx != AddrIndex::kNone) {
     tx.hwrites[idx].val = value;
   } else {
     tx.hwrite_idx.insert(&cell, static_cast<std::uint32_t>(tx.hwrites.size()));
-    tx.hwrites.push_back({&cell, value});
+    tx.hwrites.push_back({&cell, value, htm_stripe_cached(tx, &cell)});
   }
   tx.read_only = false;
 }
@@ -391,20 +518,113 @@ void htm_commit(TxDesc& tx) {
   // reproduces the paper's observed TSX failure statistics.
   const double p = config().htm_spurious_abort_rate;
   if (p > 0 && tx.backoff_rng.chance(p)) tx_abort(tx, AbortCause::Spurious);
-  if (tx.hwrites.empty()) return;  // read-only: snapshot was always valid
-  unsigned spin = 0;
-  for (;;) {
-    std::uint64_t expected = tx.hsnap;
-    if (htm_seq().compare_exchange_weak(expected, tx.hsnap + 1,
-                                        std::memory_order_acq_rel))
-      break;
-    // Someone committed since our snapshot: revalidate, adopt, retry.
-    htm_revalidate(tx);
-    spin_pause(spin++);
+  TxStats& stats = st(tx);
+  const std::uint32_t ob = obs::flags();
+  if (tx.htm_lazy) {
+    // Lazy subscription: the ONLY look at the fallback lock. A serial
+    // writer that started AND finished since our begin is invisible here —
+    // the zombie-commit window Dice et al. close with hardware support and
+    // the fault-seeded unsafety test drives deterministically.
+    if (serial_lock().serial_requested())
+      tx_abort(tx, AbortCause::SerialPending);
+    if (ob & obs::kTraceBit)
+      trace::emit(trace::Event::LazySubscribe, AbortCause::None, tx.site,
+                  static_cast<std::uint16_t>(tx.attempts));
   }
+  if (tx.hwrites.empty()) {
+    // Read-only: every read left the subscribed stripes on one validated
+    // consistent cut, so there is nothing to publish or re-check.
+    if (tx.htm_lazy) stats.bump(stats.lazy_sub_commits);
+    return;
+  }
+
+  // Distinct write stripes, ascending. Ordered acquisition is deadlock-free
+  // among committers; the cross-wait a committer can still hit (holding its
+  // own stripes odd while validating reads against a stripe another
+  // committer holds) is broken by the bounded wait + StripeBusy abort.
+  bool is_write_stripe[kHtmStripeMax] = {};
+  std::uint64_t prev_by_stripe[kHtmStripeMax];
+  unsigned ws[kHtmStripeMax];
+  unsigned nw = 0;
+  for (const HtmWrite& w : tx.hwrites) {
+    if (!is_write_stripe[w.stripe]) {
+      is_write_stripe[w.stripe] = true;
+      ws[nw++] = w.stripe;
+    }
+  }
+  std::sort(ws, ws + nw);
+
+  unsigned held = 0;
+  const unsigned limit = config().park_spin_limit;
+  // Abort with every acquired stripe restored to its original even value.
+  // Nothing has been published, so the restore is invisible to readers:
+  // sequences only move forward at a real commit, and a reader that
+  // snapshotted prev during our odd window was already waiting it out.
+  auto fail = [&](AbortCause cause) {
+    while (held) {
+      --held;
+      htm_stripe_seq(ws[held]).store(prev_by_stripe[ws[held]],
+                                     std::memory_order_release);
+    }
+    tx_abort(tx, cause);
+  };
+
+  for (unsigned i = 0; i < nw; ++i) {
+    unsigned spin = 0;
+    for (;;) {
+      std::uint64_t v = htm_stripe_seq(ws[i]).load(std::memory_order_acquire);
+      if (v & 1) {
+        if (spin >= limit) fail(AbortCause::StripeBusy);
+        spin_pause(spin++);
+        continue;
+      }
+      if (htm_stripe_seq(ws[i]).compare_exchange_weak(
+              v, v + 1, std::memory_order_acq_rel)) {
+        prev_by_stripe[ws[i]] = v;
+        ++held;
+        break;
+      }
+    }
+  }
+  // Validate subscribed read stripes that moved since their snapshot. A
+  // stripe we hold is quiescent (any competing committer is parked on its
+  // odd value), so comparing its pre-lock value against the snapshot
+  // suffices; a foreign stripe gets the bounded wait + value check.
+  for (unsigned i = 0; i < tx.hsub_n; ++i) {
+    const unsigned s = tx.hsub[i];
+    std::uint64_t cur;
+    if (is_write_stripe[s]) {
+      cur = prev_by_stripe[s];
+      if (cur == tx.hstripe_snap[s]) continue;
+    } else {
+      cur = htm_stripe_seq(s).load(std::memory_order_acquire);
+      if (cur == tx.hstripe_snap[s]) continue;
+      unsigned spin = 0;
+      while (cur & 1) {
+        if (spin >= limit) fail(AbortCause::StripeBusy);
+        spin_pause(spin++);
+        cur = htm_stripe_seq(s).load(std::memory_order_acquire);
+      }
+    }
+    for (const HtmRead& r : tx.hreads) {
+      if (r.stripe == s && r.addr->load(std::memory_order_acquire) != r.val)
+        fail(AbortCause::Validation);
+    }
+    tx.hstripe_snap[s] = cur;
+  }
+
   for (const HtmWrite& w : tx.hwrites)
     w.addr->store(w.val, std::memory_order_relaxed);
-  htm_seq().store(tx.hsnap + 2, std::memory_order_release);
+  for (unsigned i = 0; i < nw; ++i)
+    htm_stripe_seq(ws[i]).store(prev_by_stripe[ws[i]] + 2,
+                                std::memory_order_release);
+  // Counted after the point of no return so stripe_bumps tallies published
+  // commits only: stripe_bumps == stripes bumped visible to other readers.
+  stats.bump(stats.stripe_bumps, nw);
+  if (ob & obs::kProfileBit)
+    obs::site_counters(tx.slot_id, tx.site)
+        .stripe_bumps.fetch_add(nw, std::memory_order_relaxed);
+  if (tx.htm_lazy) stats.bump(stats.lazy_sub_commits);
 }
 
 }  // namespace
@@ -702,7 +922,15 @@ void tx_begin_speculative(TxDesc& tx) {
   tx.is_serial = false;
   tx.depth = 1;
   tx.clear_logs();
-  if (tx.access == AccessMode::Htm) {
+  tx.htm_lazy = tx.access == AccessMode::Htm &&
+                cfg.htm_subscription == HtmSubscription::Lazy;
+  tx.sl_held = false;
+  if (tx.htm_lazy) {
+    // Lazy subscription: the fallback lock is examined only at commit, so
+    // the attempt is NOT registered as a reader. A serial writer therefore
+    // neither waits for this transaction nor aborts it mid-flight — the
+    // deliberate reproduction of the unsafe lazy-subscription variant.
+  } else if (tx.access == AccessMode::Htm) {
     // Fallback-lock subscription: hardware elision reads the serial lock
     // inside the transaction at xbegin, so a pending writer kills the
     // attempt on the spot — it cannot be waited out the way the STM modes'
@@ -714,8 +942,10 @@ void tx_begin_speculative(TxDesc& tx) {
       if (obs::flags()) tx.obs_t0 = now_ns();
       tx_abort_at_begin(tx, AbortCause::SerialPending);
     }
+    tx.sl_held = true;
   } else {
     serial_lock().read_lock(*tx.slot);
+    tx.sl_held = true;
   }
   epoch_enter(tx);
   st(tx).bump(st(tx).txn_starts);
@@ -752,7 +982,10 @@ void tx_commit_speculative(TxDesc& tx) {
   else
     htm_commit(tx);
   epoch_exit(tx);
-  serial_lock().read_unlock(*tx.slot);
+  if (tx.sl_held) {
+    serial_lock().read_unlock(*tx.slot);
+    tx.sl_held = false;
+  }
   st(tx).bump(st(tx).commits);
   const std::uint32_t ob = obs::flags();
   if (ob) {
@@ -851,7 +1084,10 @@ void tx_abort(TxDesc& tx, AbortCause cause) {
     tx.algo == StmAlgo::GlWt ? glwt_rollback(tx) : stm_rollback(tx);
   // HTM rollback is trivial: buffered writes are simply dropped.
   epoch_exit(tx);
-  serial_lock().read_unlock(*tx.slot);
+  if (tx.sl_held) {
+    serial_lock().read_unlock(*tx.slot);
+    tx.sl_held = false;
+  }
   st(tx).bump(st(tx).aborts[static_cast<int>(cause)]);
   const std::uint32_t ob = obs::flags();
   if (ob) {
@@ -879,7 +1115,10 @@ void tx_rollback_for_exception(TxDesc& tx) {
   if (tx.access == AccessMode::Stm)
     tx.algo == StmAlgo::GlWt ? glwt_rollback(tx) : stm_rollback(tx);
   epoch_exit(tx);
-  serial_lock().read_unlock(*tx.slot);
+  if (tx.sl_held) {
+    serial_lock().read_unlock(*tx.slot);
+    tx.sl_held = false;
+  }
   st(tx).bump(st(tx).aborts[static_cast<int>(AbortCause::UserExplicit)]);
   const std::uint32_t ob = obs::flags();
   if (ob) {

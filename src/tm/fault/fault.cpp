@@ -127,6 +127,7 @@ constexpr NameMap kCauseNames[] = {
     {"validation", static_cast<int>(AbortCause::Validation)},
     {"capacity", static_cast<int>(AbortCause::Capacity)},
     {"serial-pending", static_cast<int>(AbortCause::SerialPending)},
+    {"stripe-busy", static_cast<int>(AbortCause::StripeBusy)},
 };
 
 int lookup(const NameMap* map, std::size_t count, const char* s,

@@ -159,7 +159,9 @@ Disposition default_disposition(AbortCause cause) noexcept {
     case AbortCause::Unsafe:         // the irrevocable op will recur
       return Disposition::Serial;
     case AbortCause::SerialPending:  // wait the serial window out instead of
-      return Disposition::Drain;     // burning budget against it (lemmings)
+    case AbortCause::StripeBusy:     // burning budget against it (lemmings);
+      return Disposition::Drain;     // a stuck stripe writeback clears the
+                                     // same way a serial window does
     case AbortCause::Spurious:       // environmental, uncorrelated: just go
       return Disposition::Immediate;
     case AbortCause::Conflict:
@@ -201,6 +203,15 @@ Decision on_abort(TxDesc& tx) {
             .drain_waits.fetch_add(1, std::memory_order_relaxed);
       if (fault::active() && fault::perturb(fault::Hook::GovDrain))
         s.bump(s.fault_delays);
+      if (tx.last_abort == AbortCause::StripeBusy) {
+        // A stripe held odd past the bounded spin means its committer was
+        // preempted mid-writeback; there is no drain condition to wait on —
+        // it finishes as soon as that thread runs again. Budget-free pause
+        // and retry; the watchdog bounds the pathological case.
+        tx_backoff(tx);
+        if (watchdog_expired(tx, cfg)) return escalate(tx);
+        return Decision::Retry;
+      }
       std::uint64_t waited = 0;
       const bool drained =
           serial_lock().wait_drained(cfg.serial_drain_timeout_ns, &waited);

@@ -75,4 +75,36 @@ std::atomic<std::uint64_t>& gclock() noexcept;
 /// adjacent fields of a node do not gratuitously conflict.
 std::atomic<std::uint64_t>& orec_for(const void* addr) noexcept;
 
+// ---------------------------------------------------------------------------
+// Simulated-HTM striped commit sequence
+//
+// The NOrec-style commit word, sharded: each stripe is an independent
+// seqlock (even = stable, odd = a committer is writing back). A committer
+// bumps only the stripes its write set touches, acquired in ascending index
+// order; readers snapshot stripes lazily as their footprint grows and
+// revalidate only entries whose stripe moved. Stripe selection applies the
+// orec_for Fibonacci mix at *block* granularity (2^kHtmStripeBlockShift
+// bytes): a contiguous working set lands on a handful of stripes — so a
+// small transaction's commit bumps one or two sequence words, close to the
+// old single-CAS cost — while separate threads' buffers hash to different
+// stripes, which is where the commit scalability comes from. Word-granular
+// hashing would instead spray every footprint across the whole table,
+// making each commit pay O(stripes) acquisitions for zero isolation gain.
+// config().htm_seq_stripes (a power of two <= kHtmStripeMax) sets how many
+// stripes are live; 1 reproduces the old single-sequence protocol.
+// ---------------------------------------------------------------------------
+
+inline constexpr unsigned kHtmStripeMax = 64;
+
+/// Stripe granularity: addresses within the same 2^9 = 512-byte block share
+/// a stripe (64 tm_var words — spatial false sharing at the same scale as a
+/// handful of cache lines, the natural unit of a thread's working set).
+inline constexpr unsigned kHtmStripeBlockShift = 9;
+
+/// Stripe index for `addr` under the current htm_seq_stripes setting.
+unsigned htm_stripe_index(const void* addr) noexcept;
+
+/// The sequence word of stripe `i` (i < config().htm_seq_stripes).
+std::atomic<std::uint64_t>& htm_stripe_seq(unsigned i) noexcept;
+
 }  // namespace tle

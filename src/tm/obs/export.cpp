@@ -104,6 +104,9 @@ std::vector<SiteProfile> collect_site_profiles() {
       p.drain_waits += ld(c.drain_waits);
       p.storm_gated += ld(c.storm_gated);
       p.watchdog_escalations += ld(c.watchdog_escalations);
+      p.stripe_bumps += ld(c.stripe_bumps);
+      p.stripe_false_revalidations += ld(c.stripe_false_revalidations);
+      p.lazy_sub_commits += ld(c.lazy_sub_commits);
       for (int a = 0; a < kAbortCauseCount; ++a)
         p.aborts[a] += ld(c.aborts[a]);
       for (int b = 0; b < LatencyHist::kBuckets; ++b) {
@@ -217,7 +220,9 @@ std::string obs_json() {
                "\"serial_commits\":%llu,\"lock_sections\":%llu,"
                "\"htm_retries\":%llu,\"quiesce_waits\":%llu,"
                "\"drain_waits\":%llu,\"storm_gated\":%llu,"
-               "\"watchdog_escalations\":%llu,",
+               "\"watchdog_escalations\":%llu,\"stripe_bumps\":%llu,"
+               "\"stripe_false_revalidations\":%llu,"
+               "\"lazy_sub_commits\":%llu,",
                (unsigned long long)p.attempts, (unsigned long long)p.commits,
                (unsigned long long)p.serial_fallbacks,
                (unsigned long long)p.serial_commits,
@@ -226,7 +231,10 @@ std::string obs_json() {
                (unsigned long long)p.quiesce_waits,
                (unsigned long long)p.drain_waits,
                (unsigned long long)p.storm_gated,
-               (unsigned long long)p.watchdog_escalations);
+               (unsigned long long)p.watchdog_escalations,
+               (unsigned long long)p.stripe_bumps,
+               (unsigned long long)p.stripe_false_revalidations,
+               (unsigned long long)p.lazy_sub_commits);
     out += "\"aborts\":{";
     for (int a = 1; a < kAbortCauseCount; ++a)
       append_fmt(out, "%s\"%s\":%llu", a == 1 ? "" : ",",
@@ -362,6 +370,24 @@ std::string chrome_trace_json(const std::vector<trace::Record>& records) {
                      r.slot, json_escape(site_name).c_str(),
                      static_cast<double>(r.ts_ns) / 1e3, r.retry);
         }
+        break;
+      case trace::Event::StripeRevalidate:
+        sep();
+        append_fmt(out,
+                   "{\"ph\":\"i\",\"pid\":1,\"tid\":%u,\"s\":\"t\","
+                   "\"cat\":\"htm\",\"name\":\"stripe-revalidate\","
+                   "\"ts\":%.3f,\"args\":{\"site\":\"%s\",\"stripe\":%u}}",
+                   r.slot, static_cast<double>(r.ts_ns) / 1e3,
+                   json_escape(site_name).c_str(), r.rset);
+        break;
+      case trace::Event::LazySubscribe:
+        sep();
+        append_fmt(out,
+                   "{\"ph\":\"i\",\"pid\":1,\"tid\":%u,\"s\":\"t\","
+                   "\"cat\":\"htm\",\"name\":\"lazy-subscribe\","
+                   "\"ts\":%.3f,\"args\":{\"site\":\"%s\"}}",
+                   r.slot, static_cast<double>(r.ts_ns) / 1e3,
+                   json_escape(site_name).c_str());
         break;
       case trace::Event::Begin:
       case trace::Event::SerialEnter:

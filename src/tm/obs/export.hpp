@@ -34,6 +34,9 @@ struct SiteProfile {
   std::uint64_t drain_waits = 0;
   std::uint64_t storm_gated = 0;
   std::uint64_t watchdog_escalations = 0;
+  std::uint64_t stripe_bumps = 0;
+  std::uint64_t stripe_false_revalidations = 0;
+  std::uint64_t lazy_sub_commits = 0;
   std::uint64_t aborts[static_cast<int>(AbortCause::kCount)] = {};
   std::uint64_t attempt_hist[LatencyHist::kBuckets] = {};
   std::uint64_t quiesce_hist[LatencyHist::kBuckets] = {};

@@ -86,6 +86,9 @@ struct SiteCounters {
   Counter drain_waits{0};       ///< governor serial-pending drain waits
   Counter storm_gated{0};       ///< attempts held at the abort-storm gate
   Counter watchdog_escalations{0};  ///< starvation escalations to serial
+  Counter stripe_bumps{0};          ///< commit stripes acquired by commits
+  Counter stripe_false_revalidations{0};  ///< stripe moved, values unchanged
+  Counter lazy_sub_commits{0};      ///< commits under lazy subscription
   Counter aborts[static_cast<int>(AbortCause::kCount)] = {};
 
   LatencyHist attempt_ns;  ///< duration of each attempt (commit or abort)

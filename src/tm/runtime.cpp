@@ -19,10 +19,13 @@ struct alignas(kCacheLine) GlobalClock {
 };
 GlobalClock g_clock;
 
-struct alignas(kCacheLine) HtmSeq {
+// The striped simulated-HTM commit sequence. One padded seqlock word per
+// stripe so disjoint-footprint committers never share a cache line; the
+// live stripe count is config().htm_seq_stripes (<= kHtmStripeMax).
+struct alignas(kCacheLine) HtmSeqStripe {
   std::atomic<std::uint64_t> value{0};
 };
-HtmSeq g_htm_seq;
+HtmSeqStripe g_htm_stripes[kHtmStripeMax];
 
 struct alignas(kCacheLine) GlLock {
   std::atomic<std::uint64_t> value{0};
@@ -53,6 +56,9 @@ const char* validate_config(const RuntimeConfig& cfg) noexcept {
   if (cfg.storm_window == 0) return "storm_window must be >= 1";
   if (cfg.storm_tokens == 0)
     return "storm_tokens must be >= 1 (a zero throttle deadlocks the gate)";
+  if (cfg.htm_seq_stripes == 0 || cfg.htm_seq_stripes > kHtmStripeMax ||
+      (cfg.htm_seq_stripes & (cfg.htm_seq_stripes - 1)) != 0)
+    return "htm_seq_stripes must be a power of two in [1, kHtmStripeMax]";
   return nullptr;
 }
 
@@ -64,8 +70,6 @@ void set_exec_mode(ExecMode mode) noexcept {
 
 std::atomic<std::uint64_t>& gclock() noexcept { return g_clock.value; }
 
-std::atomic<std::uint64_t>& htm_seq() noexcept { return g_htm_seq.value; }
-
 std::atomic<std::uint64_t>& gl_lock() noexcept { return g_gl_lock.value; }
 
 std::atomic<std::uint64_t>& orec_for(const void* addr) noexcept {
@@ -75,6 +79,21 @@ std::atomic<std::uint64_t>& orec_for(const void* addr) noexcept {
   const std::size_t idx =
       (word * 0x9E3779B97F4A7C15ULL) >> (64 - kOrecBits);
   return g_orecs[idx];
+}
+
+unsigned htm_stripe_index(const void* addr) noexcept {
+  // Block-granular orec_for-style Fibonacci mix: addresses in the same
+  // 512-byte block share a stripe, distinct blocks scatter uniformly. See
+  // the design note in meta.hpp — block granularity is what keeps a small
+  // contiguous write set on one or two stripes.
+  const std::uintptr_t block =
+      reinterpret_cast<std::uintptr_t>(addr) >> kHtmStripeBlockShift;
+  const std::uint64_t mixed = block * 0x9E3779B97F4A7C15ULL;
+  return static_cast<unsigned>(mixed >> 48) & (g_config.htm_seq_stripes - 1);
+}
+
+std::atomic<std::uint64_t>& htm_stripe_seq(unsigned i) noexcept {
+  return g_htm_stripes[i].value;
 }
 
 SerialLock& serial_lock() noexcept { return g_serial_lock; }
@@ -121,7 +140,24 @@ const char* to_string(AbortCause c) noexcept {
     case AbortCause::SerialPending: return "serial-pending";
     case AbortCause::UserExplicit: return "user-explicit";
     case AbortCause::Spurious: return "spurious";
+    case AbortCause::StripeBusy: return "stripe-busy";
     case AbortCause::kCount: break;
+  }
+  return "?";
+}
+
+const char* to_string(HtmSubscription s) noexcept {
+  switch (s) {
+    case HtmSubscription::Eager: return "eager";
+    case HtmSubscription::Lazy: return "lazy";
+  }
+  return "?";
+}
+
+const char* to_string(StmClockMode m) noexcept {
+  switch (m) {
+    case StmClockMode::Eager: return "eager";
+    case StmClockMode::Deferred: return "deferred";
   }
   return "?";
 }
@@ -157,7 +193,7 @@ void reset_stats() noexcept {
 }
 
 std::string StatsSnapshot::report() const {
-  char buf[4096];
+  char buf[5120];
   int n = std::snprintf(
       buf, sizeof buf,
       "txn starts            %12llu\n"
@@ -172,6 +208,9 @@ std::string StatsSnapshot::report() const {
       "  serial-pending      %12llu\n"
       "  user-explicit       %12llu\n"
       "  spurious (sim)      %12llu\n"
+      "  stripe-busy         %12llu\n"
+      "stripe bumps/f-revals %12llu / %llu (lazy-sub commits %llu)\n"
+      "gclock advances (GV5) %12llu\n"
       "quiesce calls/waits   %12llu / %llu (spins %llu, blocked %.3f ms)\n"
       "grace scans/shared    %12llu / %llu (parked waits %llu)\n"
       "limbo enq/drained     %12llu / %llu (forced flushes %llu)\n"
@@ -198,6 +237,11 @@ std::string StatsSnapshot::report() const {
       (unsigned long long)aborts[static_cast<int>(AbortCause::SerialPending)],
       (unsigned long long)aborts[static_cast<int>(AbortCause::UserExplicit)],
       (unsigned long long)aborts[static_cast<int>(AbortCause::Spurious)],
+      (unsigned long long)aborts[static_cast<int>(AbortCause::StripeBusy)],
+      (unsigned long long)stripe_bumps,
+      (unsigned long long)stripe_false_revalidations,
+      (unsigned long long)lazy_sub_commits,
+      (unsigned long long)gclock_advances,
       (unsigned long long)quiesce_calls, (unsigned long long)quiesce_waits,
       (unsigned long long)quiesce_spins, quiesce_wait_ns / 1e6,
       (unsigned long long)grace_scans, (unsigned long long)grace_shared,

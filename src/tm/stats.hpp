@@ -52,6 +52,10 @@ namespace tle {
   X(stm_read_dedup, "ml_wt repeat reads absorbed by the filter")            \
   X(htm_read_dedup, "HTM repeat reads served from the value log")           \
   X(htm_rw_hits, "HTM reads served from the write buffer")                  \
+  X(stripe_bumps, "commit-sequence stripes acquired by HTM commits")        \
+  X(stripe_false_revalidations, "stripe revalidations with no value change") \
+  X(lazy_sub_commits, "HTM commits under lazy fallback-lock subscription")  \
+  X(gclock_advances, "deferred-clock CAS advances by readers (GV5)")        \
   X(faults_injected, "aborts fired by the fault-injection plan")            \
   X(fault_delays, "schedule perturbations executed by the plan")            \
   X(fault_forced_serial, "serial-mode entries forced by the plan")          \

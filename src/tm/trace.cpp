@@ -56,6 +56,8 @@ const char* to_string(Event e) noexcept {
     case Event::StormEnter: return "storm-enter";
     case Event::StormExit: return "storm-exit";
     case Event::WatchdogEscalate: return "watchdog-escalate";
+    case Event::StripeRevalidate: return "stripe-revalidate";
+    case Event::LazySubscribe: return "lazy-subscribe";
   }
   return "?";
 }

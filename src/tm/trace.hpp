@@ -34,6 +34,9 @@ enum class Event : std::uint8_t {
   StormExit,    ///< governor: abort-storm gate released
   WatchdogEscalate,  ///< governor: starvation escalation or detected stall
                      ///< (dur_ns carries the stall length for stalls)
+  StripeRevalidate,  ///< HTM: a subscribed commit stripe moved and was
+                     ///< value-revalidated (rset carries the stripe index)
+  LazySubscribe,     ///< HTM: commit-time fallback-lock check (lazy mode)
 };
 
 const char* to_string(Event e) noexcept;

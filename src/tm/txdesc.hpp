@@ -193,11 +193,13 @@ struct UndoEntry {
 struct HtmRead {
   const std::atomic<std::uint64_t>* addr;
   std::uint64_t val;
+  std::uint32_t stripe;  ///< commit-sequence stripe covering addr
 };
 
 struct HtmWrite {
   std::atomic<std::uint64_t>* addr;
   std::uint64_t val;
+  std::uint32_t stripe;  ///< commit-sequence stripe covering addr
 };
 
 /// Integral member whose move resets the source to zero. The limbo
@@ -265,6 +267,15 @@ struct TxDesc {
   // --- STM -------------------------------------------------------------
   StmAlgo algo = StmAlgo::MlWt;  ///< algorithm of the current attempt
   std::uint64_t rv = 0;   ///< validity timestamp (snapshot)
+  /// Deferred-clock mode (GV5): highest wv this thread ever committed at.
+  /// Persists across transactions — per-thread monotonicity keeps a thread's
+  /// own commit timestamps strictly increasing without touching gclock.
+  std::uint64_t clock_cache = 0;
+  /// Deferred-clock mode: max pre-lock timestamp among owned orecs this
+  /// transaction. wv must exceed it so per-orec timestamps stay strictly
+  /// increasing (two same-wv commits re-releasing one orec at an identical
+  /// word would defeat readers' validation).
+  std::uint64_t wv_floor = 0;
   bool gl_writer = false; ///< gl_wt: this txn holds the global write lock
   bool read_only = true;
   std::vector<ReadEntry> reads;
@@ -274,15 +285,58 @@ struct TxDesc {
   AddrIndex owned_idx;  ///< orec -> owned[] position (O(1) validation)
 
   // --- simulated HTM -------------------------------------------------------
-  std::uint64_t hsnap = 0;  ///< NOrec-style global-sequence snapshot
   std::vector<HtmRead> hreads;
   std::vector<HtmWrite> hwrites;
   AddrIndex hread_idx;      ///< cell -> hreads[] position (read-own-read)
   AddrIndex hwrite_idx;     ///< cell -> hwrites[] position (read-own-write)
-  std::size_t hval_wm = 0;  ///< hreads prefix known valid at hsnap
   LineTracker rcap;  ///< read-set capacity model
   LineTracker wcap;  ///< write-set capacity model
   bool cap_configured = false;
+  bool htm_lazy = false;  ///< this attempt uses lazy fallback subscription
+  bool sl_held = false;   ///< this attempt holds a serial-lock reader slot
+
+  // Per-stripe snapshot state. A stripe becomes "subscribed" on the first
+  // read it covers: hstripe_snap[s] then holds the even sequence value the
+  // logged entries of that stripe are valid at. Membership is generation-
+  // stamped (same O(1)-reset trick as AddrIndex); hsub[] lists subscribed
+  // stripes for O(subscribed) scans instead of O(kHtmStripeMax).
+  std::uint64_t hstripe_snap[kHtmStripeMax] = {};
+  std::uint32_t hstripe_gen[kHtmStripeMax] = {};
+  std::uint32_t hstripe_cur_gen = 0;
+  std::uint32_t hsub[kHtmStripeMax] = {};
+  unsigned hsub_n = 0;
+  // Last block whose stripe was computed, and that stripe: consecutive
+  // accesses walk the same 512-byte block, so the hot path skips the hash.
+  // Reset per transaction because the mapping depends on htm_seq_stripes.
+  std::uintptr_t hblock_cache = ~std::uintptr_t{0};
+  unsigned hblock_stripe = 0;
+  // True until the next read re-observes ALL subscribed stripes at their
+  // snaps in one pass (a "full confirmation"): that pass fixes a real
+  // instant t0 at which every logged value was simultaneously live. While
+  // clean, a read only has to re-check its OWN stripe — seeing it still at
+  // its snap proves the loaded value already existed at t0, so the cut
+  // stays consistent with one load instead of O(subscribed).
+  bool hsub_dirty = true;
+
+  bool stripe_subscribed(unsigned s) const noexcept {
+    return hstripe_gen[s] == hstripe_cur_gen;
+  }
+  void stripe_subscribe(unsigned s, std::uint64_t snap) noexcept {
+    hstripe_snap[s] = snap;
+    hstripe_gen[s] = hstripe_cur_gen;
+    hsub[hsub_n++] = s;
+    hsub_dirty = true;  // t0 does not cover the new stripe yet
+  }
+  /// O(1) between-transaction reset of the subscription set.
+  void stripes_new_txn() noexcept {
+    hsub_n = 0;
+    hsub_dirty = true;
+    hblock_cache = ~std::uintptr_t{0};
+    if (++hstripe_cur_gen == 0) {  // wrapped: wipe once every 2^32 txns
+      std::fill(hstripe_gen, hstripe_gen + kHtmStripeMax, 0u);
+      hstripe_cur_gen = 1;
+    }
+  }
 
   // --- quiescence interaction ----------------------------------------------
   bool noquiesce_req = false;  ///< TM_NoQuiesce called at top level
@@ -347,7 +401,8 @@ struct TxDesc {
     owned_idx.new_txn();
     hread_idx.new_txn();
     hwrite_idx.new_txn();
-    hval_wm = 0;
+    stripes_new_txn();
+    wv_floor = 0;
     allocs.clear();
     frees.clear();
     deferred.clear();

@@ -406,15 +406,16 @@ TEST(FaultCondvarTest, SignalInTimeoutWithdrawWindowIsAbsorbed) {
 }
 
 // ---------------------------------------------------------------------------
-// HTM revalidation: the validated watermark must not skip a changed suffix
+// HTM revalidation: a moved stripe must not skip a changed prefix
 // ---------------------------------------------------------------------------
 
 // ABA-shaped guard for the documented-unsound optimization of resuming
-// revalidation above hval_wm: pause a reader between its two reads while a
-// writer changes both halves of an invariant pair. The already-validated
-// prefix (A) went stale, so the read of B must revalidate from entry 0 and
-// abort — a watermark that skipped the "already validated" prefix would let
-// the transaction see the torn pair {old A, new B}.
+// revalidation past already-checked entries: pause a reader between its two
+// reads while a writer changes both halves of an invariant pair. The
+// already-validated prefix (A) went stale, so the read of B must revalidate
+// every logged entry in the moved stripes and abort — skipping the
+// "already validated" prefix would let the transaction see the torn pair
+// {old A, new B}.
 TEST(FaultHtmTest, RevalidateNeverSkipsChangedPrefix) {
   ModeGuard g(ExecMode::Htm);
   PlanGuard pg;

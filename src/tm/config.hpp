@@ -19,12 +19,16 @@ enum class ExecMode : std::uint8_t {
   Htm,            ///< simulated-HTM elision + condvars, serial fallback
 };
 
-/// Which STM algorithm the Stm* modes run. Mirrors GCC libitm's method
-/// groups: ml_wt (the default the paper used) and gl_wt (a single global
-/// versioned lock, TML-style — cheap reads, zero write concurrency).
+/// Which STM algorithm the Stm* modes run. MlWt/GlWt mirror GCC libitm's
+/// method groups: ml_wt (the default the paper used) and gl_wt (a single
+/// global versioned lock, TML-style — cheap reads, zero write concurrency).
+/// TicToc is the timestamped-OCC third instance of the commit-protocol seam
+/// (src/tm/protocol/): write-back, per-orec {write_ts, read_ts}, commit-time
+/// timestamp allocation with read-set extension — no global clock at all.
 enum class StmAlgo : std::uint8_t {
-  MlWt,  ///< multiple orec locks, write-through (TinySTM-flavoured)
-  GlWt,  ///< one global versioned lock, write-through
+  MlWt,    ///< multiple orec locks, write-through (TinySTM-flavoured)
+  GlWt,    ///< one global versioned lock, write-through
+  TicToc,  ///< timestamped OCC, write-back (TicToc-flavoured)
 };
 
 /// When a committing STM transaction performs the epoch-based quiescence wait.
@@ -135,7 +139,10 @@ struct RuntimeConfig {
   /// deliberately unsafe Dice et al. reproduction — see HtmSubscription.
   HtmSubscription htm_subscription = HtmSubscription::Eager;
 
-  /// Global-clock commit protocol for ml_wt — see StmClockMode.
+  /// Global-clock commit protocol for ml_wt — see StmClockMode. Meaningful
+  /// only for stm_algo=ml_wt: gl_wt has its own version word and tictoc has
+  /// no global clock at all, so validate_config() rejects tictoc+deferred
+  /// instead of silently ignoring the knob.
   StmClockMode stm_clock_mode = StmClockMode::Eager;
 
   /// Ablation A3: when true, each elidable_mutex forms its own quiescence

@@ -1,9 +1,12 @@
-// The two speculative engines and the shared commit/abort/quiescence
-// machinery.
+// The speculative engines and the shared commit/abort/quiescence machinery.
 //
-//   * STM: ml_wt — encounter-time orec write locks, write-through with an
-//     undo log, TinySTM-style global-clock snapshots with timestamp
-//     extension, epoch quiescence at commit (paper Section IV).
+//   * STM: the commit protocol is a compile-time policy behind the
+//     StmProtocol seam (protocol/protocol.hpp) — ml_wt (encounter-time orec
+//     locks + TinySTM extension), gl_wt (TML global versioned lock), and
+//     tictoc (timestamped OCC, write-back, no global clock). This file owns
+//     everything protocol-independent: epochs, quiescence (paper Section
+//     IV), limbo reclamation, serial fallback, stats/obs, and the dispatch
+//     into the selected policy.
 //   * Simulated HTM: NOrec-shaped, with the commit sequence STRIPED — a
 //     table of padded seqlock words sharded by address (meta.hpp). A
 //     committer bumps only the stripes its write set touches (ascending
@@ -23,6 +26,7 @@
 #include "tm/audit.hpp"
 #include "tm/fault/fault.hpp"
 #include "tm/obs/site.hpp"
+#include "tm/protocol/protocol.hpp"
 #include "tm/serial_lock.hpp"
 #include "tm/trace.hpp"
 #include "util/align.hpp"
@@ -30,42 +34,28 @@
 
 namespace tle {
 
-// Globals defined in runtime.cpp.
-std::atomic<std::uint64_t>& gl_lock() noexcept;
-
 namespace {
 
-TxStats& st(TxDesc& tx) noexcept { return *tx.stats; }
-
-/// Fault-injection decision point: consult the armed plan at `h` and abort
-/// with the injected cause if a rule fires. The abort takes the ordinary
-/// tx_abort path, so rollback, per-cause stats, per-site obs attribution and
-/// the retry/serial-fallback policy all treat it exactly like an organic
-/// abort — only the extra faults_injected row distinguishes it.
-inline void maybe_inject(TxDesc& tx, fault::Hook h) {
-  if (!fault::active()) return;
-  const AbortCause cause = fault::should_abort(h);
-  if (cause == AbortCause::None) return;
-  st(tx).bump(st(tx).faults_injected);
-  tx_abort(tx, cause);
-}
-
-/// Schedule-perturbation point: widen the handshake window at `h` with the
-/// plan's yield/sleep, accounting the delay to `stats`.
-inline void maybe_perturb(TxStats& stats, fault::Hook h) {
-  if (fault::active() && fault::perturb(h)) stats.bump(stats.fault_delays);
-}
+using protocol::stm_protocol_dispatch;
+using protocol::detail::maybe_inject;
+using protocol::detail::maybe_perturb;
+using protocol::detail::st;
 
 // Observability helpers: logged-set sizes for the flight recorder, read
-// while the logs are still intact (i.e. before clear_logs()).
+// while the logs are still intact (i.e. before clear_logs()). The STM sizes
+// are policy-defined (e.g. tictoc counts its buffered write set, not the
+// undo log it never keeps).
 std::uint32_t obs_rset(const TxDesc& tx) noexcept {
-  return static_cast<std::uint32_t>(
-      tx.access == AccessMode::Htm ? tx.hreads.size() : tx.reads.size());
+  if (tx.access == AccessMode::Htm)
+    return static_cast<std::uint32_t>(tx.hreads.size());
+  return stm_protocol_dispatch(
+      tx.algo, [&](auto p) { return decltype(p)::rset_size(tx); });
 }
 std::uint32_t obs_wset(const TxDesc& tx) noexcept {
-  // undo entries = words written, for both STM algorithms.
-  return static_cast<std::uint32_t>(
-      tx.access == AccessMode::Htm ? tx.hwrites.size() : tx.undo.size());
+  if (tx.access == AccessMode::Htm)
+    return static_cast<std::uint32_t>(tx.hwrites.size());
+  return stm_protocol_dispatch(
+      tx.algo, [&](auto p) { return decltype(p)::wset_size(tx); });
 }
 
 // ---------------------------------------------------------------------------
@@ -94,225 +84,6 @@ void epoch_exit(TxDesc& tx) noexcept {
   tx.slot->seq.fetch_add(1, std::memory_order_seq_cst);
   if (tx.slot->parked.load(std::memory_order_seq_cst) != 0)
     tx.slot->seq.notify_all();
-}
-
-// ---------------------------------------------------------------------------
-// STM (ml_wt)
-// ---------------------------------------------------------------------------
-
-/// Read-set validation. Aborts on any orec whose unlocked value changed or
-/// that is now owned by another transaction. An orec we ourselves own is
-/// valid iff the pre-lock value we stashed matches what the read observed.
-void stm_validate(TxDesc& tx) {
-  for (const ReadEntry& r : tx.reads) {
-    const std::uint64_t cur = r.orec->load(std::memory_order_acquire);
-    if (cur == r.seen) continue;
-    if (orec_locked(cur) && orec_owner(cur) == &tx) {
-      const std::uint32_t i = tx.owned_idx.find(r.orec);
-      if (i != AddrIndex::kNone && tx.owned[i].prev == r.seen) continue;
-    }
-    tx_abort(tx, AbortCause::Validation);
-  }
-}
-
-/// TinySTM timestamp extension: adopt the current clock if the read set is
-/// still valid; abort otherwise.
-void stm_extend(TxDesc& tx) {
-  const std::uint64_t now = gclock().load(std::memory_order_acquire);
-  stm_validate(tx);
-  tx.rv = now;
-}
-
-/// Deferred-clock mode (GV5): a committer publishes timestamps WITHOUT
-/// bumping gclock, so the first reader to meet a fresher orec pushes the
-/// clock forward instead. The CAS-max loop races benignly with peers; only
-/// the thread whose CAS lands counts the advance. After this, stm_extend's
-/// clock load observes >= ts and the triggering read can be accepted.
-void stm_note_stale(TxDesc& tx, std::uint64_t ts) {
-  if (config().stm_clock_mode != StmClockMode::Deferred) return;
-  std::uint64_t cur = gclock().load(std::memory_order_relaxed);
-  while (cur < ts) {
-    if (gclock().compare_exchange_weak(cur, ts, std::memory_order_acq_rel)) {
-      st(tx).bump(st(tx).gclock_advances);
-      return;
-    }
-  }
-}
-
-std::uint64_t stm_read(TxDesc& tx, const std::atomic<std::uint64_t>& cell) {
-  if (serial_lock().serial_requested()) tx_abort(tx, AbortCause::SerialPending);
-  std::atomic<std::uint64_t>& o = orec_for(&cell);
-  for (unsigned spin = 0;;) {
-    const std::uint64_t ov = o.load(std::memory_order_acquire);
-    if (orec_locked(ov)) {
-      if (orec_owner(ov) == &tx) {
-        // Read-own-write: write-through means memory holds the new value.
-        return cell.load(std::memory_order_relaxed);
-      }
-      tx_abort(tx, AbortCause::Conflict);
-    }
-    if (orec_timestamp(ov) > tx.rv) {
-      stm_note_stale(tx, orec_timestamp(ov));
-      stm_extend(tx);
-      continue;  // re-read under the extended snapshot
-    }
-    const std::uint64_t val = cell.load(std::memory_order_acquire);
-    if (o.load(std::memory_order_acquire) != ov) {
-      spin_pause(spin++);
-      continue;  // concurrent lock/release between our two orec loads
-    }
-    // Repeat-read filter: a second read of an orec already logged with the
-    // SAME observed value adds no information — validation of the first
-    // entry covers it. A differing observation is still appended (superset
-    // validation), so abort outcomes are unchanged.
-    const std::uint32_t prior = tx.read_idx.find(&o);
-    if (prior != AddrIndex::kNone && tx.reads[prior].seen == ov) {
-      st(tx).bump(st(tx).stm_read_dedup);
-      return val;
-    }
-    tx.read_idx.insert(&o, static_cast<std::uint32_t>(tx.reads.size()));
-    tx.reads.push_back({&o, ov});
-    return val;
-  }
-}
-
-void stm_write(TxDesc& tx, std::atomic<std::uint64_t>& cell,
-               std::uint64_t value) {
-  if (serial_lock().serial_requested()) tx_abort(tx, AbortCause::SerialPending);
-  std::atomic<std::uint64_t>& o = orec_for(&cell);
-  for (;;) {
-    const std::uint64_t ov = o.load(std::memory_order_acquire);
-    if (orec_locked(ov)) {
-      if (orec_owner(ov) != &tx) tx_abort(tx, AbortCause::Conflict);
-      break;  // already own it
-    }
-    if (orec_timestamp(ov) > tx.rv) {
-      stm_note_stale(tx, orec_timestamp(ov));
-      stm_extend(tx);
-      continue;
-    }
-    std::uint64_t expected = ov;
-    if (o.compare_exchange_strong(expected, orec_lockword(&tx),
-                                  std::memory_order_acq_rel)) {
-      tx.owned_idx.insert(&o, static_cast<std::uint32_t>(tx.owned.size()));
-      tx.owned.push_back({&o, ov});
-      if (orec_timestamp(ov) > tx.wv_floor) tx.wv_floor = orec_timestamp(ov);
-      break;
-    }
-    // Lost the race; loop re-examines the new value.
-  }
-  tx.undo.push_back({&cell, cell.load(std::memory_order_relaxed)});
-  cell.store(value, std::memory_order_relaxed);
-  tx.read_only = false;
-}
-
-void stm_begin(TxDesc& tx) {
-  tx.rv = gclock().load(std::memory_order_acquire);
-}
-
-void stm_commit(TxDesc& tx) {
-  const bool deferred = config().stm_clock_mode == StmClockMode::Deferred;
-  if (tx.read_only) {
-    // Deferred mode gives up the eager clock's per-read opacity guarantee:
-    // a concurrent commit can share our rv, so the snapshot must be
-    // re-validated before its results escape the section (GV5's documented
-    // cost — the RMW saved at every write commit is paid back only by
-    // read-only commits that actually raced one).
-    if (deferred && !tx.reads.empty()) stm_validate(tx);
-    return;
-  }
-  std::uint64_t wv;
-  if (deferred) {
-    // GV5: wv = gclock+1 WITHOUT the global RMW. The price of the saved
-    // fetch_add is that wv is not unique, so (a) the skip-validation fast
-    // path below is unsound here — always validate — and (b) wv must
-    // exceed every owned orec's previous timestamp (wv_floor) so per-orec
-    // timestamps stay strictly increasing, and this thread's own clock
-    // cache so its commit order stays monotonic.
-    wv = gclock().load(std::memory_order_acquire) + 1;
-    if (tx.clock_cache + 1 > wv) wv = tx.clock_cache + 1;
-    if (tx.wv_floor + 1 > wv) wv = tx.wv_floor + 1;
-    stm_validate(tx);
-    tx.clock_cache = wv;
-  } else {
-    wv = gclock().fetch_add(1, std::memory_order_acq_rel) + 1;
-    // If nobody committed since we started, the read set is trivially valid.
-    if (wv != tx.rv + 1) stm_validate(tx);
-  }
-  for (const OwnedOrec& o : tx.owned)
-    o.orec->store(orec_commit_release(o.prev, wv), std::memory_order_release);
-}
-
-void stm_rollback(TxDesc& tx) noexcept {
-  // Undo in reverse so multiply-written words regain their oldest value.
-  for (auto it = tx.undo.rbegin(); it != tx.undo.rend(); ++it)
-    it->addr->store(it->old, std::memory_order_relaxed);
-  // The release on the orec publishes the restored values; the incarnation
-  // bump invalidates readers racing with our speculation.
-  for (const OwnedOrec& o : tx.owned)
-    o.orec->store(orec_abort_release(o.prev), std::memory_order_release);
-}
-
-// ---------------------------------------------------------------------------
-// STM (gl_wt) — one global versioned lock, write-through (TML-style).
-// Even value = version; odd = a writer is active. Reads are a load plus one
-// global-word validation; the first write acquires the global lock, so
-// writing transactions serialize (GCC's gl_wt method group).
-// ---------------------------------------------------------------------------
-
-void glwt_begin(TxDesc& tx) {
-  unsigned spin = 0;
-  for (;;) {
-    const std::uint64_t v = gl_lock().load(std::memory_order_acquire);
-    if (!(v & 1)) {
-      tx.rv = v;
-      tx.gl_writer = false;
-      return;
-    }
-    spin_pause(spin++);
-  }
-}
-
-std::uint64_t glwt_read(TxDesc& tx, const std::atomic<std::uint64_t>& cell) {
-  if (serial_lock().serial_requested()) tx_abort(tx, AbortCause::SerialPending);
-  if (tx.gl_writer) return cell.load(std::memory_order_relaxed);
-  const std::uint64_t val = cell.load(std::memory_order_acquire);
-  if (gl_lock().load(std::memory_order_acquire) != tx.rv)
-    tx_abort(tx, AbortCause::Validation);
-  return val;
-}
-
-void glwt_write(TxDesc& tx, std::atomic<std::uint64_t>& cell,
-                std::uint64_t value) {
-  if (serial_lock().serial_requested()) tx_abort(tx, AbortCause::SerialPending);
-  if (!tx.gl_writer) {
-    std::uint64_t expected = tx.rv;
-    if (!gl_lock().compare_exchange_strong(expected, tx.rv + 1,
-                                           std::memory_order_acq_rel))
-      tx_abort(tx, AbortCause::Conflict);
-    tx.gl_writer = true;
-  }
-  tx.undo.push_back({&cell, cell.load(std::memory_order_relaxed)});
-  cell.store(value, std::memory_order_relaxed);
-  tx.read_only = false;
-}
-
-void glwt_commit(TxDesc& tx) {
-  if (tx.gl_writer) {
-    gl_lock().store(tx.rv + 2, std::memory_order_release);
-    tx.gl_writer = false;
-  }
-}
-
-void glwt_rollback(TxDesc& tx) noexcept {
-  for (auto it = tx.undo.rbegin(); it != tx.undo.rend(); ++it)
-    it->addr->store(it->old, std::memory_order_relaxed);
-  if (tx.gl_writer) {
-    // Bump the version so concurrent readers that saw speculative values
-    // fail their per-read validation.
-    gl_lock().store(tx.rv + 2, std::memory_order_release);
-    tx.gl_writer = false;
-  }
 }
 
 // ---------------------------------------------------------------------------
@@ -961,10 +732,7 @@ void tx_begin_speculative(TxDesc& tx) {
   }
   if (tx.access == AccessMode::Stm) {
     tx.algo = cfg.stm_algo;
-    if (tx.algo == StmAlgo::GlWt)
-      glwt_begin(tx);
-    else
-      stm_begin(tx);
+    stm_protocol_dispatch(tx.algo, [&](auto p) { decltype(p)::begin(tx); });
   } else {
     htm_begin(tx);
   }
@@ -978,7 +746,7 @@ void tx_commit_speculative(TxDesc& tx) {
   // engine and every injectable cause.
   maybe_inject(tx, fault::Hook::Commit);
   if (tx.access == AccessMode::Stm)
-    tx.algo == StmAlgo::GlWt ? glwt_commit(tx) : stm_commit(tx);
+    stm_protocol_dispatch(tx.algo, [&](auto p) { decltype(p)::commit(tx); });
   else
     htm_commit(tx);
   epoch_exit(tx);
@@ -1081,7 +849,8 @@ void tx_post_commit(TxDesc& tx) {
 
 void tx_abort(TxDesc& tx, AbortCause cause) {
   if (tx.access == AccessMode::Stm)
-    tx.algo == StmAlgo::GlWt ? glwt_rollback(tx) : stm_rollback(tx);
+    stm_protocol_dispatch(tx.algo,
+                          [&](auto p) { decltype(p)::rollback(tx); });
   // HTM rollback is trivial: buffered writes are simply dropped.
   epoch_exit(tx);
   if (tx.sl_held) {
@@ -1113,7 +882,8 @@ void tx_abort(TxDesc& tx, AbortCause cause) {
 void tx_rollback_for_exception(TxDesc& tx) {
   if (tx.is_serial) return;  // serial sections are irrevocable; no rollback
   if (tx.access == AccessMode::Stm)
-    tx.algo == StmAlgo::GlWt ? glwt_rollback(tx) : stm_rollback(tx);
+    stm_protocol_dispatch(tx.algo,
+                          [&](auto p) { decltype(p)::rollback(tx); });
   epoch_exit(tx);
   if (tx.sl_held) {
     serial_lock().read_unlock(*tx.slot);
@@ -1212,8 +982,8 @@ std::uint64_t tx_read_word(TxDesc& tx, const std::atomic<std::uint64_t>& cell) {
       return cell.load(std::memory_order_relaxed);
     case AccessMode::Stm:
       maybe_inject(tx, fault::Hook::Read);
-      return tx.algo == StmAlgo::GlWt ? glwt_read(tx, cell)
-                                      : stm_read(tx, cell);
+      return stm_protocol_dispatch(
+          tx.algo, [&](auto p) { return decltype(p)::read(tx, cell); });
     case AccessMode::Htm:
       maybe_inject(tx, fault::Hook::Read);
       return htm_read(tx, cell);
@@ -1229,10 +999,8 @@ void tx_write_word(TxDesc& tx, std::atomic<std::uint64_t>& cell,
       return;
     case AccessMode::Stm:
       maybe_inject(tx, fault::Hook::Write);
-      if (tx.algo == StmAlgo::GlWt)
-        glwt_write(tx, cell, value);
-      else
-        stm_write(tx, cell, value);
+      stm_protocol_dispatch(
+          tx.algo, [&](auto p) { decltype(p)::write(tx, cell, value); });
       return;
     case AccessMode::Htm:
       maybe_inject(tx, fault::Hook::Write);

@@ -116,6 +116,7 @@ constexpr NameMap kHookNames[] = {
     {"cv_timeout", static_cast<int>(Hook::CvTimeout)},
     {"gov_drain", static_cast<int>(Hook::GovDrain)},
     {"gov_gate", static_cast<int>(Hook::GovGate)},
+    {"tt_commit", static_cast<int>(Hook::TtCommit)},
 };
 static_assert(sizeof(kHookNames) / sizeof(kHookNames[0]) == kHookCount);
 
@@ -174,8 +175,10 @@ bool parse_rule(const char* tok, std::size_t len, Rule& out) noexcept {
     if (cause < 0) return false;
     out.kind = ActionKind::Abort;
     out.cause = static_cast<AbortCause>(cause);
-    // Abort rules only make sense at speculative decision points.
-    if (static_cast<int>(out.hook) > static_cast<int>(Hook::Commit))
+    // Abort rules only make sense at speculative decision points: the
+    // begin/read/write/commit quartet plus tictoc's in-commit window.
+    if (static_cast<int>(out.hook) > static_cast<int>(Hook::Commit) &&
+        out.hook != Hook::TtCommit)
       return false;
   }
 

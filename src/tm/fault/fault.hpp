@@ -57,6 +57,7 @@ enum class Hook : std::uint8_t {
   CvTimeout,      ///< tx_condvar: timed out, before the withdraw attempt
   GovDrain,       ///< governor: before a serial-pending drain wait
   GovGate,        ///< governor: each pass of a storm-gate admission wait
+  TtCommit,       ///< tictoc commit: inside the lock->validate->publish window
   kCount,
 };
 inline constexpr int kHookCount = static_cast<int>(Hook::kCount);

@@ -107,6 +107,10 @@ std::vector<SiteProfile> collect_site_profiles() {
       p.stripe_bumps += ld(c.stripe_bumps);
       p.stripe_false_revalidations += ld(c.stripe_false_revalidations);
       p.lazy_sub_commits += ld(c.lazy_sub_commits);
+      p.tictoc_extensions += ld(c.tictoc_extensions);
+      p.tictoc_extension_fails += ld(c.tictoc_extension_fails);
+      p.tictoc_wts_waits += ld(c.tictoc_wts_waits);
+      p.tictoc_lock_timeouts += ld(c.tictoc_lock_timeouts);
       for (int a = 0; a < kAbortCauseCount; ++a)
         p.aborts[a] += ld(c.aborts[a]);
       for (int b = 0; b < LatencyHist::kBuckets; ++b) {
@@ -235,6 +239,14 @@ std::string obs_json() {
                (unsigned long long)p.stripe_bumps,
                (unsigned long long)p.stripe_false_revalidations,
                (unsigned long long)p.lazy_sub_commits);
+    append_fmt(out,
+               "\"tictoc_extensions\":%llu,"
+               "\"tictoc_extension_fails\":%llu,\"tictoc_wts_waits\":%llu,"
+               "\"tictoc_lock_timeouts\":%llu,",
+               (unsigned long long)p.tictoc_extensions,
+               (unsigned long long)p.tictoc_extension_fails,
+               (unsigned long long)p.tictoc_wts_waits,
+               (unsigned long long)p.tictoc_lock_timeouts);
     out += "\"aborts\":{";
     for (int a = 1; a < kAbortCauseCount; ++a)
       append_fmt(out, "%s\"%s\":%llu", a == 1 ? "" : ",",

@@ -37,6 +37,10 @@ struct SiteProfile {
   std::uint64_t stripe_bumps = 0;
   std::uint64_t stripe_false_revalidations = 0;
   std::uint64_t lazy_sub_commits = 0;
+  std::uint64_t tictoc_extensions = 0;
+  std::uint64_t tictoc_extension_fails = 0;
+  std::uint64_t tictoc_wts_waits = 0;
+  std::uint64_t tictoc_lock_timeouts = 0;
   std::uint64_t aborts[static_cast<int>(AbortCause::kCount)] = {};
   std::uint64_t attempt_hist[LatencyHist::kBuckets] = {};
   std::uint64_t quiesce_hist[LatencyHist::kBuckets] = {};

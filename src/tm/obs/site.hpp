@@ -89,6 +89,10 @@ struct SiteCounters {
   Counter stripe_bumps{0};          ///< commit stripes acquired by commits
   Counter stripe_false_revalidations{0};  ///< stripe moved, values unchanged
   Counter lazy_sub_commits{0};      ///< commits under lazy subscription
+  Counter tictoc_extensions{0};       ///< tictoc rts CAS extensions
+  Counter tictoc_extension_fails{0};  ///< tictoc extensions failed: value changed
+  Counter tictoc_wts_waits{0};        ///< tictoc bounded waits on a locked orec
+  Counter tictoc_lock_timeouts{0};    ///< tictoc lock waits that expired
   Counter aborts[static_cast<int>(AbortCause::kCount)] = {};
 
   LatencyHist attempt_ns;  ///< duration of each attempt (commit or abort)

@@ -36,6 +36,11 @@ GlLock g_gl_lock;
 // libitm's table.
 std::atomic<std::uint64_t> g_orecs[kOrecCount];
 
+// TicToc's own orec table (see the design note in meta.hpp: its per-footprint
+// timestamps are not coherent with ml_wt's global clock, so the tables must
+// not be shared across an stm_algo switch between phases).
+std::atomic<std::uint64_t> g_tictoc_orecs[kOrecCount];
+
 SerialLock g_serial_lock;
 
 }  // namespace
@@ -59,6 +64,10 @@ const char* validate_config(const RuntimeConfig& cfg) noexcept {
   if (cfg.htm_seq_stripes == 0 || cfg.htm_seq_stripes > kHtmStripeMax ||
       (cfg.htm_seq_stripes & (cfg.htm_seq_stripes - 1)) != 0)
     return "htm_seq_stripes must be a power of two in [1, kHtmStripeMax]";
+  if (cfg.stm_algo == StmAlgo::TicToc &&
+      cfg.stm_clock_mode != StmClockMode::Eager)
+    return "stm_clock_mode applies only to ml_wt: tictoc has no global "
+           "clock (leave stm_clock_mode at Eager with stm_algo=tictoc)";
   return nullptr;
 }
 
@@ -79,6 +88,13 @@ std::atomic<std::uint64_t>& orec_for(const void* addr) noexcept {
   const std::size_t idx =
       (word * 0x9E3779B97F4A7C15ULL) >> (64 - kOrecBits);
   return g_orecs[idx];
+}
+
+std::atomic<std::uint64_t>& tictoc_orec_for(const void* addr) noexcept {
+  const std::uintptr_t word = reinterpret_cast<std::uintptr_t>(addr) >> 3;
+  const std::size_t idx =
+      (word * 0x9E3779B97F4A7C15ULL) >> (64 - kOrecBits);
+  return g_tictoc_orecs[idx];
 }
 
 unsigned htm_stripe_index(const void* addr) noexcept {
@@ -117,6 +133,7 @@ const char* to_string(StmAlgo a) noexcept {
   switch (a) {
     case StmAlgo::MlWt: return "ml_wt";
     case StmAlgo::GlWt: return "gl_wt";
+    case StmAlgo::TicToc: return "tictoc";
   }
   return "?";
 }
@@ -211,6 +228,7 @@ std::string StatsSnapshot::report() const {
       "  stripe-busy         %12llu\n"
       "stripe bumps/f-revals %12llu / %llu (lazy-sub commits %llu)\n"
       "gclock advances (GV5) %12llu\n"
+      "tictoc ext ok/fail    %12llu / %llu (lock waits %llu, timeouts %llu)\n"
       "quiesce calls/waits   %12llu / %llu (spins %llu, blocked %.3f ms)\n"
       "grace scans/shared    %12llu / %llu (parked waits %llu)\n"
       "limbo enq/drained     %12llu / %llu (forced flushes %llu)\n"
@@ -242,6 +260,10 @@ std::string StatsSnapshot::report() const {
       (unsigned long long)stripe_false_revalidations,
       (unsigned long long)lazy_sub_commits,
       (unsigned long long)gclock_advances,
+      (unsigned long long)tictoc_extensions,
+      (unsigned long long)tictoc_extension_fails,
+      (unsigned long long)tictoc_wts_waits,
+      (unsigned long long)tictoc_lock_timeouts,
       (unsigned long long)quiesce_calls, (unsigned long long)quiesce_waits,
       (unsigned long long)quiesce_spins, quiesce_wait_ns / 1e6,
       (unsigned long long)grace_scans, (unsigned long long)grace_shared,

@@ -92,6 +92,19 @@ TEST(FaultPlanTest, SpecParsingAcceptsDefaultRejectsMalformed) {
   EXPECT_TRUE(fault::install_spec(
       "yield@epoch_scan=0.5,delay@grace_wait=1/1000,conflict@read=0.25", 1));
   EXPECT_TRUE(fault::active());
+  fault::clear();
+
+  // tt_commit is a speculative decision point despite sitting past Commit in
+  // the hook enum: abort rules are legal there (and perturbations, as at any
+  // hook); the non-speculative hooks still reject aborts.
+  EXPECT_TRUE(fault::install_spec(
+      "validation@tt_commit=0.5,conflict@tt_commit=0.1,delay@tt_commit=1/500",
+      1));
+  EXPECT_TRUE(fault::active());
+  fault::clear();
+  EXPECT_FALSE(fault::install_spec("validation@post=0.5", 1));
+  EXPECT_FALSE(fault::install_spec("serial@tt_commit=0.5", 1));
+  EXPECT_FALSE(fault::install_spec("flush@tt_commit=0.5", 1));
 }
 
 // ---------------------------------------------------------------------------
@@ -197,6 +210,76 @@ TEST(FaultInjectTest, ForceFlushDrainsLimboEveryCommit) {
   EXPECT_EQ(s.fault_forced_flush, 20u);
   EXPECT_EQ(counts.forced_flush, 20u);
   EXPECT_GT(s.limbo_drained, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// TicToc commit-window hook (tt_commit)
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectTest, TtCommitWindowInjectsOnlyUnderTicToc) {
+  // The hook sits inside tictoc's lock->certify->publish window, so an
+  // injected Validation abort there exercises the locked-orec rollback path:
+  // recovery must be exact (each increment lands once, pre-lock orec words
+  // restored so later readers are unharmed).
+  ModeGuard g(ExecMode::StmCondVar);
+  PlanGuard pg;
+  config().stm_algo = tle::StmAlgo::TicToc;
+  tm_var<long> v{0};
+  ASSERT_TRUE(fault::install_spec("validation@tt_commit=0.3", 0x71C70C));
+  run_threads(4, [&](int tid) {
+    fault::set_thread_stream(static_cast<std::uint32_t>(300 + tid));
+    for (int i = 0; i < 200; ++i)
+      atomic_do([&](TxContext& tx) { tx.fetch_add(v, 1L); });
+  });
+  const fault::Counts counts = fault::snapshot();
+  fault::clear();
+  auto s = aggregate_stats();
+  EXPECT_EQ(s.commits + s.serial_commits, 4u * 200u);
+  EXPECT_EQ(read_plain(v), 4 * 200);
+  EXPECT_GT(counts.injected_total(), 0u);
+  EXPECT_EQ(counts.injected[hook_index(fault::Hook::TtCommit)]
+                           [static_cast<int>(AbortCause::Validation)],
+            counts.injected_total());
+  EXPECT_GE(s.aborts[static_cast<int>(AbortCause::Validation)],
+            counts.injected_total());
+
+  // The other protocols never reach the window: the same plan is inert.
+  for (tle::StmAlgo algo : {tle::StmAlgo::MlWt, tle::StmAlgo::GlWt}) {
+    config().stm_algo = algo;
+    tle::reset_stats();
+    ASSERT_TRUE(fault::install_spec("validation@tt_commit=1", 0x71C70C));
+    for (int i = 0; i < 100; ++i)
+      atomic_do([&](TxContext& tx) { tx.fetch_add(v, 1L); });
+    const fault::Counts inert = fault::snapshot();
+    fault::clear();
+    s = aggregate_stats();
+    EXPECT_EQ(inert.injected_total(), 0u) << tle::to_string(algo);
+    EXPECT_EQ(s.faults_injected, 0u) << tle::to_string(algo);
+  }
+}
+
+TEST(FaultDeterminismTest, TtCommitSeededReplayIsByteIdentical) {
+  ModeGuard g(ExecMode::StmCondVar);
+  PlanGuard pg;
+  config().stm_algo = tle::StmAlgo::TicToc;
+  tm_var<long> v{0};
+  auto run = [&]() -> fault::Counts {
+    EXPECT_TRUE(fault::install_spec(
+        "validation@tt_commit=0.1,conflict@tt_commit=0.05,"
+        "delay@tt_commit=0.02/1000,conflict@read=0.02",
+        0x7EED));
+    fault::set_thread_stream(9);
+    for (int i = 0; i < 2000; ++i)
+      atomic_do([&](TxContext& tx) { tx.fetch_add(v, 1L); });
+    const fault::Counts c = fault::snapshot();
+    fault::clear();
+    return c;
+  };
+  const fault::Counts first = run();
+  const fault::Counts second = run();
+  EXPECT_GT(first.injected_total(), 0u);
+  EXPECT_GT(first.delays[hook_index(fault::Hook::TtCommit)], 0u);
+  EXPECT_TRUE(first == second);
 }
 
 // ---------------------------------------------------------------------------

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "bench_support.hpp"
+#include "tm/obs/metrics.hpp"
 #include "util/barrier.hpp"
 #include "util/env.hpp"
 #include "util/timing.hpp"
@@ -299,6 +300,16 @@ int main(int argc, char** argv) {
     obs::profile_enable(true);
     trace::enable(true);
     std::printf("abl_overhead: observability ON (profiling + trace)\n");
+  }
+
+  // ABL_METRICS=1 additionally arms the interval sampler (background thread
+  // ticking at config().metrics_period_ms), so the live-telemetry A/B
+  // overhead can be measured against the same cells: run once with the knob
+  // off and once with it on, and compare ops/s.
+  if (env_long("ABL_METRICS", 0)) {
+    obs::metrics_start();
+    std::printf("abl_overhead: interval metrics sampler ON (period=%u ms)\n",
+                config().metrics_period_ms);
   }
 
   std::vector<CellResult> cells;

@@ -62,6 +62,7 @@
 
 #include "bench_support.hpp"
 #include "tm/governor/governor.hpp"
+#include "tm/obs/metrics.hpp"
 #include "util/barrier.hpp"
 #include "util/env.hpp"
 #include "util/rng.hpp"
@@ -300,6 +301,14 @@ int main(int argc, char** argv) {
   const double secs = env_double("ABL_STM_ALGO_SECS", smoke ? 0.05 : 1.0);
   const int accept_threads =
       static_cast<int>(env_long("ABL_STM_ALGO_THREADS", 8));
+
+  // ABL_METRICS=1 arms the interval sampler for the run (same knob as
+  // abl_overhead), so algorithm sweeps can stream tle-metrics/v1 windows.
+  if (env_long("ABL_METRICS", 0)) {
+    obs::metrics_start();
+    std::printf("abl_stm_algo: interval metrics sampler ON (period=%u ms)\n",
+                config().metrics_period_ms);
+  }
 
   const StmAlgo algos[] = {StmAlgo::MlWt, StmAlgo::GlWt, StmAlgo::TicToc};
   const Mix mixes[] = {Mix::ReadMostly, Mix::WriteHeavy, Mix::LongReader};

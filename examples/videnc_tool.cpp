@@ -9,10 +9,35 @@
 #include <cstring>
 #include <string>
 
+#include "tm/obs/metrics.hpp"
 #include "tm/tm.hpp"
 #include "videnc/encoder.hpp"
 
 namespace {
+
+// When TLE_METRICS_OUT/TLE_METRICS_PROM armed the interval sampler, close
+// the console report with a rollup of the retained windows.
+void report_live_metrics() {
+  if (!tle::obs::metrics_enabled()) return;
+  const auto hist = tle::obs::metrics_history();
+  if (hist.empty()) return;
+  std::uint64_t commits = 0, aborts = 0, peak_limbo = 0;
+  std::uint32_t peak_inflight = 0;
+  for (const auto& w : hist) {
+    commits += w.commits;
+    aborts += w.aborts;
+    if (w.gauges.inflight_txns > peak_inflight)
+      peak_inflight = w.gauges.inflight_txns;
+    if (w.gauges.limbo_pending > peak_limbo)
+      peak_limbo = w.gauges.limbo_pending;
+  }
+  std::printf(
+      "\nlive metrics: %zu window(s) retained (last #%llu): %llu commits, "
+      "%llu aborts; peak inflight=%u, peak limbo=%llu\n",
+      hist.size(), (unsigned long long)hist.back().index,
+      (unsigned long long)commits, (unsigned long long)aborts, peak_inflight,
+      (unsigned long long)peak_limbo);
+}
 
 tle::ExecMode parse_mode(const std::string& s) {
   if (s == "lock") return tle::ExecMode::Lock;
@@ -74,5 +99,6 @@ int main(int argc, char** argv) {
                      : 0,
       r.stats.psnr, r.stats.seconds, fps);
   std::printf("\nTM statistics:\n%s", tle::aggregate_stats().report().c_str());
+  report_live_metrics();
   return 0;
 }

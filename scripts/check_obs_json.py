@@ -40,6 +40,7 @@ REQUIRED_COUNTERS = [
     "gov_backoffs", "gov_immediate_retries", "gov_drain_waits",
     "gov_drain_timeouts", "gov_storm_enters", "gov_storm_exits",
     "gov_storm_gated", "gov_watchdog_escalations", "gov_stall_events",
+    "obs_site_overflow",
 ]
 
 ABORT_CAUSES = ["conflict", "validation", "capacity", "unsafe",

@@ -5,7 +5,8 @@
 # structures (node reclamation under concurrency), the engine edge cases,
 # the quiescence substrate (grace sharing, parking, limbo reclamation), the
 # observability layer (seqlock trace ring under concurrent
-# emit/snapshot/reset, per-site counter tables), and the contention
+# emit/snapshot/reset, per-site counter tables, the windowed metrics
+# sampler ticking against live counter bumps), and the contention
 # governor (storm-window folding, token gate, drain waits under racing
 # serial writers), and the striped commit sequence (per-stripe seqlock
 # acquisition/release ordering, lazy subscription, deferred gclock CAS).
@@ -22,7 +23,7 @@ cd "$(dirname "$0")/.."
 
 PRESET=${1:-all}
 CXX=${CXX:-g++}
-TM_SRCS="src/tm/engine.cpp src/tm/registry.cpp src/tm/runtime.cpp src/tm/audit.cpp src/tm/trace.cpp src/tm/fault/fault.cpp src/tm/governor/governor.cpp src/tm/obs/site.cpp src/tm/obs/export.cpp"
+TM_SRCS="src/tm/engine.cpp src/tm/registry.cpp src/tm/runtime.cpp src/tm/audit.cpp src/tm/trace.cpp src/tm/fault/fault.cpp src/tm/governor/governor.cpp src/tm/obs/site.cpp src/tm/obs/export.cpp src/tm/obs/metrics.cpp src/tm/obs/sampler.cpp"
 LIBS="-lgtest -lgtest_main -pthread"
 OUT=$(mktemp -d)
 trap 'rm -rf "$OUT"' EXIT
@@ -34,7 +35,7 @@ suite_extra() {
     *) echo "" ;;
   esac
 }
-SUITES="tm_core_test tm_privatization_test dstruct_test tm_engine_edge_test quiesce_stress_test sync_stress_test obs_test fault_injection_test governor_test tm_stripe_test tm_protocol_test"
+SUITES="tm_core_test tm_privatization_test dstruct_test tm_engine_edge_test quiesce_stress_test sync_stress_test obs_test metrics_test site_overflow_test fault_injection_test governor_test tm_stripe_test tm_protocol_test"
 
 # Seeded fault matrix: rerun the suites most sensitive to the perturbed
 # windows with the env-armed chaos plan, so the sanitizers watch the Dekker

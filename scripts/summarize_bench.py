@@ -278,6 +278,8 @@ def summarize_obs(path):
         return
 
     def pctl(hist, p):
+        # Midpoint rule, mirroring obs::percentile_from_buckets: bucket 0
+        # holds [0, 2) and reports 1; bucket floor 2^b reports 2^b + 2^(b-1).
         total = sum(c for _, c in hist)
         if not total:
             return 0.0
@@ -286,8 +288,9 @@ def summarize_obs(path):
         for floor, count in hist:
             seen += count
             if seen >= want:
-                return floor
-        return hist[-1][0]
+                return 1 if floor == 0 else floor + floor // 2
+        floor = hist[-1][0]
+        return 1 if floor == 0 else floor + floor // 2
 
     stats = doc.get("stats", {})
     print(f"== obs: {doc.get('mode', '?')} — "
@@ -313,28 +316,95 @@ def summarize_obs(path):
                                      for k, v in sorted(causes.items())))
 
 
+def summarize_metrics(path):
+    """Interval-telemetry rollup from a tle-metrics/v1 stream
+    (TLE_METRICS_OUT=FILE — one JSON record per window, JSONL). Shows the
+    windowed view the background sampler captured: per-window commit/abort
+    rates, gauge peaks, and a per-site total with a conservation check
+    (summed window deltas vs the last cumulative total_commits)."""
+    windows = []
+    try:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                rec = json.loads(line)
+                if rec.get("schema") == "tle-metrics/v1":
+                    windows.append(rec)
+    except (OSError, ValueError) as e:
+        print(f"  (cannot read {path}: {e})")
+        return
+    if not windows:
+        print(f"  (no tle-metrics/v1 records in {path})")
+        return
+    totals = [w.get("totals", {}) for w in windows]
+    commits = sum(t.get("commits", 0) for t in totals)
+    aborts = sum(t.get("aborts", 0) for t in totals)
+    serial = sum(t.get("serial_commits", 0) for t in totals)
+    dur_s = sum(w.get("duration_ns", 0) for w in windows) / 1e9
+    rates = [t.get("commit_rate", 0.0) for t in totals
+             if t.get("commit_rate")]
+    gauges = [w.get("gauges", {}) for w in windows]
+    print(f"== metrics: {len(windows)} window(s) over {dur_s:.2f}s — "
+          f"{commits} commits, {aborts} aborts, {serial} serial ==")
+    if rates:
+        print(f"  commit rate: mean={sum(rates) / len(rates):.3g}/s  "
+              f"peak={max(rates):.3g}/s")
+    print(f"  gauge peaks: inflight={max((g.get('inflight_txns', 0) for g in gauges), default=0)}  "
+          f"limbo={max((g.get('limbo_pending', 0) for g in gauges), default=0)}  "
+          f"oldest_txn={max((g.get('oldest_txn_age_ns', 0) for g in gauges), default=0) / 1e3:.1f}us  "
+          f"serial_hold={sum(g.get('serial_hold_ns', 0) for g in gauges) / 1e6:.2f}ms")
+    per_site = {}
+    for w in windows:
+        for s in w.get("sites", []):
+            d = per_site.setdefault(s.get("id"),
+                                    {"name": s.get("name", "?"), "commits": 0,
+                                     "aborts": 0, "last_total": 0, "p99": 0})
+            d["commits"] += s.get("commits", 0)
+            d["aborts"] += s.get("aborts_total", 0)
+            d["last_total"] = s.get("total_commits", 0)
+            d["p99"] = max(d["p99"], s.get("p99_ns", 0))
+    for sid, d in sorted(per_site.items(), key=lambda kv: -kv[1]["commits"]):
+        conserved = "" if d["commits"] == d["last_total"] else \
+            f"  !! deltas {d['commits']} != cumulative {d['last_total']}"
+        print(f"  {d['name']:28s} commits={d['commits']:<10d} "
+              f"aborts={d['aborts']:<8d} p99={d['p99'] / 1e3:8.1f}us"
+              f"{conserved}")
+
+
 def main():
     path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
 
-    # Direct mode: a recognized schema JSON as the sole argument.
-    if path.endswith(".json"):
+    # Direct mode: a recognized schema JSON (or JSONL stream) as the sole
+    # argument. A tle-metrics/v1 stream is JSONL, so sniff its first line
+    # when whole-file parsing fails.
+    if path.endswith((".json", ".jsonl")):
+        schema = None
         try:
             with open(path) as f:
                 schema = json.load(f).get("schema")
-            if schema == "tle-obs/v1":
-                summarize_obs(path)
-                return
-            if schema == "tle-governor/v1":
-                summarize_governor(path)
-                return
-            if schema == "tle-commit-scale/v1":
-                summarize_commit_scale(path)
-                return
-            if schema == "tle-stm-algo/v1":
-                summarize_stm_algo(path)
-                return
         except (OSError, ValueError):
-            pass
+            try:
+                with open(path) as f:
+                    schema = json.loads(f.readline()).get("schema")
+            except (OSError, ValueError):
+                schema = None
+        if schema == "tle-obs/v1":
+            summarize_obs(path)
+            return
+        if schema == "tle-governor/v1":
+            summarize_governor(path)
+            return
+        if schema == "tle-commit-scale/v1":
+            summarize_commit_scale(path)
+            return
+        if schema == "tle-stm-algo/v1":
+            summarize_stm_algo(path)
+            return
+        if schema == "tle-metrics/v1":
+            summarize_metrics(path)
+            return
 
     rows = parse(path)
 
@@ -365,6 +435,11 @@ def main():
     obs = os.path.join(os.path.dirname(path) or ".", "BENCH_obs.json")
     if os.path.exists(obs):
         summarize_obs(obs)
+
+    metrics = os.path.join(os.path.dirname(path) or ".",
+                           "BENCH_metrics.jsonl")
+    if os.path.exists(metrics):
+        summarize_metrics(metrics)
 
     print("== fig2: HTM serial-fallback band (paper: 13-18%) ==")
     vals = [c.get("serial_pct", 0) for n, _, c in fig(rows, "fig2/") if "HTM" in n]

@@ -204,6 +204,16 @@ struct RuntimeConfig {
   /// recorder event). 0 disables detection.
   std::uint64_t watchdog_stall_ns = 100'000'000;
 
+  // --- interval metrics (src/tm/obs/metrics.hpp) --------------------------
+
+  /// Window length of the background metrics sampler in milliseconds
+  /// (TLE_METRICS_PERIOD_MS overrides at startup). Must be >= 1.
+  unsigned metrics_period_ms = 100;
+
+  /// Depth of the retained window ring served by obs::metrics_history()
+  /// (TLE_METRICS_HISTORY overrides at startup). Must be >= 1.
+  unsigned metrics_history = 64;
+
   /// Returns true if `mode` executes critical sections as STM transactions.
   bool is_stm() const noexcept {
     return mode == ExecMode::StmSpin || mode == ExecMode::StmCondVar ||

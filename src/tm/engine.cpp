@@ -523,7 +523,14 @@ void grace_sync(TxDesc& tx) {
       // scan would strand them on a stale value.
       const std::uint64_t pass =
           g.started.fetch_add(1, std::memory_order_seq_cst) + 1;
+      const bool metered = obs::flags() & obs::kMetricsBit;
+      const std::uint64_t scan_t0 = metered ? now_ns() : 0;
       epoch_scan(tx, /*domain_filter=*/false);
+      if (metered) {
+        const std::uint64_t scan_ns = now_ns() - scan_t0;
+        g.last_scan_ns.store(scan_ns, std::memory_order_relaxed);
+        g.scan_ns_total.fetch_add(scan_ns, std::memory_order_relaxed);
+      }
       g.completed.store(pass, std::memory_order_seq_cst);
       g.scanner.store(0, std::memory_order_seq_cst);
       if (g.parked.load(std::memory_order_seq_cst) != 0)
@@ -577,6 +584,7 @@ void limbo_enqueue(TxDesc& tx) {
   b.ticket = grace_state().started.load(std::memory_order_seq_cst) + 1;
   b.local_seq = ++tx.limbo_seq;
   tx.limbo_pending += b.ptrs.size();
+  tx.slot->limbo_pending.store(tx.limbo_pending, std::memory_order_relaxed);
   tx.limbo.push_back(std::move(b));
   st(tx).bump(st(tx).limbo_enqueued);
 }
@@ -611,6 +619,8 @@ void limbo_drain(TxDesc& tx, bool force) {
     tx.limbo.erase(tx.limbo.begin(),
                    tx.limbo.begin() + static_cast<std::ptrdiff_t>(n));
     s.bump(s.limbo_drained, n);
+    tx.slot->limbo_pending.store(tx.limbo_pending,
+                                 std::memory_order_relaxed);
   }
 }
 
@@ -723,6 +733,8 @@ void tx_begin_speculative(TxDesc& tx) {
   const std::uint32_t ob = obs::flags();
   if (ob) {
     tx.obs_t0 = now_ns();
+    if (ob & obs::kMetricsBit)
+      tx.slot->txn_begin_ns.store(tx.obs_t0, std::memory_order_relaxed);
     if (ob & obs::kProfileBit)
       obs::site_counters(tx.slot_id, tx.site)
           .attempts.fetch_add(1, std::memory_order_relaxed);
@@ -758,6 +770,8 @@ void tx_commit_speculative(TxDesc& tx) {
   const std::uint32_t ob = obs::flags();
   if (ob) {
     const std::uint64_t dur = now_ns() - tx.obs_t0;
+    if (ob & obs::kMetricsBit)
+      tx.slot->txn_begin_ns.store(0, std::memory_order_relaxed);
     if (ob & obs::kProfileBit) {
       obs::SiteCounters& sc = obs::site_counters(tx.slot_id, tx.site);
       sc.commits.fetch_add(1, std::memory_order_relaxed);
@@ -861,6 +875,8 @@ void tx_abort(TxDesc& tx, AbortCause cause) {
   const std::uint32_t ob = obs::flags();
   if (ob) {
     const std::uint64_t dur = now_ns() - tx.obs_t0;
+    if (ob & obs::kMetricsBit)
+      tx.slot->txn_begin_ns.store(0, std::memory_order_relaxed);
     if (ob & obs::kProfileBit) {
       obs::SiteCounters& sc = obs::site_counters(tx.slot_id, tx.site);
       sc.aborts[static_cast<int>(cause)].fetch_add(1,
@@ -893,6 +909,8 @@ void tx_rollback_for_exception(TxDesc& tx) {
   const std::uint32_t ob = obs::flags();
   if (ob) {
     const std::uint64_t dur = now_ns() - tx.obs_t0;
+    if (ob & obs::kMetricsBit)
+      tx.slot->txn_begin_ns.store(0, std::memory_order_relaxed);
     if (ob & obs::kProfileBit) {
       obs::SiteCounters& sc = obs::site_counters(tx.slot_id, tx.site);
       sc.aborts[static_cast<int>(AbortCause::UserExplicit)].fetch_add(
@@ -926,6 +944,8 @@ void tx_serial_enter(TxDesc& tx) {
   const std::uint32_t ob = obs::flags();
   if (ob) {
     tx.obs_t0 = now_ns();
+    if (ob & obs::kMetricsBit)
+      tx.slot->txn_begin_ns.store(tx.obs_t0, std::memory_order_relaxed);
     if (ob & obs::kTraceBit)
       trace::emit(trace::Event::SerialEnter, AbortCause::None, tx.site,
                   static_cast<std::uint16_t>(tx.attempts));
@@ -950,6 +970,8 @@ void tx_serial_exit(TxDesc& tx) {
   const std::uint32_t ob = obs::flags();
   if (ob) {
     const std::uint64_t dur = now_ns() - tx.obs_t0;
+    if (ob & obs::kMetricsBit)
+      tx.slot->txn_begin_ns.store(0, std::memory_order_relaxed);
     if (ob & obs::kProfileBit) {
       obs::SiteCounters& sc = obs::site_counters(tx.slot_id, tx.site);
       sc.serial_commits.fetch_add(1, std::memory_order_relaxed);

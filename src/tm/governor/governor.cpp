@@ -252,6 +252,10 @@ Decision on_abort(TxDesc& tx) {
   }
 }
 
+unsigned storm_inflight() noexcept {
+  return g_inflight.load(std::memory_order_relaxed);
+}
+
 double abort_rate_estimate() noexcept {
   const std::uint64_t a = g_window.attempts.load(std::memory_order_relaxed);
   const std::uint64_t b = g_window.aborts.load(std::memory_order_relaxed);

@@ -122,6 +122,10 @@ class TokenGuard {
 /// windows; 0 before any fold). Exposed for tests and the obs layer.
 double abort_rate_estimate() noexcept;
 
+/// Speculators currently holding a storm-gate admission token (0 whenever
+/// the gate is disengaged). Live gauge for the metrics sampler.
+unsigned storm_inflight() noexcept;
+
 /// Reset the global storm state (estimate, gate, token count). Test-only:
 /// not safe while transactions run. Per-thread windows reset with their
 /// threads; tests that need exact window phase use fresh threads or a

@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "tm/governor/governor.hpp"
+#include "tm/obs/metrics.hpp"
 #include "tm/registry.hpp"
 #include "tm/stats.hpp"
 
@@ -49,21 +50,6 @@ std::string json_escape(const char* s) {
       out += c;
   }
   return out;
-}
-
-/// Approximate percentile from a log2 histogram: the floor of the bucket
-/// containing the p-th sample.
-std::uint64_t hist_percentile(const std::uint64_t* h, double p) {
-  std::uint64_t total = 0;
-  for (int b = 0; b < LatencyHist::kBuckets; ++b) total += h[b];
-  if (!total) return 0;
-  const double target = p * static_cast<double>(total);
-  std::uint64_t cum = 0;
-  for (int b = 0; b < LatencyHist::kBuckets; ++b) {
-    cum += h[b];
-    if (static_cast<double>(cum) >= target) return LatencyHist::bucket_floor(b);
-  }
-  return LatencyHist::bucket_floor(LatencyHist::kBuckets - 1);
 }
 
 void append_hist_json(std::string& out, const char* key,
@@ -154,8 +140,8 @@ std::string site_table(const std::vector<SiteProfile>& profiles) {
         (unsigned long long)p.aborts[static_cast<int>(AbortCause::Validation)],
         (unsigned long long)p.aborts[static_cast<int>(AbortCause::Capacity)],
         (unsigned long long)(p.serial_fallbacks + p.serial_commits),
-        hist_percentile(p.attempt_hist, 0.50) / 1e3,
-        hist_percentile(p.attempt_hist, 0.99) / 1e3);
+        percentile_from_buckets(p.attempt_hist, 0.50) / 1e3,
+        percentile_from_buckets(p.attempt_hist, 0.99) / 1e3);
   }
   return out;
 }
@@ -499,6 +485,10 @@ void init_from_env() noexcept {
   if (g_env.stats) profile_enable(true);
   if (g_env.trace) trace::enable(true);
   if (g_env.stats || g_env.trace) std::atexit(dump_now);
+  // After the dump registration so the metrics shutdown atexit (registered
+  // inside, LIFO) stops the sampler and flushes the residual window BEFORE
+  // the lifetime dump — window deltas then sum to the dumped totals exactly.
+  init_metrics_from_env();
 }
 
 }  // namespace tle::obs

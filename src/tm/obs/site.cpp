@@ -39,6 +39,7 @@ struct SiteSlot {
 
 SiteSlot g_sites[kMaxSites];
 std::atomic<int> g_site_count{1};  // id 0 reserved for "(unnamed)"
+std::atomic<std::uint64_t> g_site_overflow{0};
 
 std::atomic<SiteCounters*> g_tables[kMaxThreads] = {};
 
@@ -50,6 +51,7 @@ TxSite::TxSite(const char* name, const char* file, int line) noexcept {
     // Registry full: fold into the unnamed bucket (and pin the counter so
     // site_count() stays clamped without a saturating CAS loop).
     g_site_count.store(kMaxSites, std::memory_order_relaxed);
+    g_site_overflow.fetch_add(1, std::memory_order_relaxed);
     id = 0;
     return;
   }
@@ -62,6 +64,10 @@ TxSite::TxSite(const char* name, const char* file, int line) noexcept {
 int site_count() noexcept {
   const int n = g_site_count.load(std::memory_order_acquire);
   return n < kMaxSites ? n : kMaxSites;
+}
+
+std::uint64_t site_overflow_count() noexcept {
+  return g_site_overflow.load(std::memory_order_relaxed);
 }
 
 SiteInfo site_info(int id) noexcept {
@@ -109,6 +115,13 @@ void reset_site_profiles() noexcept {
       zero(c.drain_waits);
       zero(c.storm_gated);
       zero(c.watchdog_escalations);
+      zero(c.stripe_bumps);
+      zero(c.stripe_false_revalidations);
+      zero(c.lazy_sub_commits);
+      zero(c.tictoc_extensions);
+      zero(c.tictoc_extension_fails);
+      zero(c.tictoc_wts_waits);
+      zero(c.tictoc_lock_timeouts);
       for (auto& a : c.aborts) zero(a);
       for (auto& b : c.attempt_ns.buckets) zero(b);
       for (auto& b : c.quiesce_ns.buckets) zero(b);

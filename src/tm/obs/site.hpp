@@ -28,6 +28,7 @@ inline constexpr int kMaxSites = 128;
 
 inline constexpr std::uint32_t kTraceBit = 1u;    ///< flight recorder on
 inline constexpr std::uint32_t kProfileBit = 2u;  ///< per-site profiling on
+inline constexpr std::uint32_t kMetricsBit = 4u;  ///< interval metrics on
 
 namespace detail {
 extern std::atomic<std::uint32_t> g_flags;
@@ -65,6 +66,12 @@ struct SiteInfo {
 
 /// Number of registered sites including the reserved id 0.
 int site_count() noexcept;
+
+/// Registrations that arrived after the registry filled and were folded
+/// into id 0. Surfaces in aggregate_stats() as obs_site_overflow and as a
+/// warning line in StatsSnapshot::report(); never reset (the registry stays
+/// full for the life of the process).
+std::uint64_t site_overflow_count() noexcept;
 
 /// Descriptor for a registered site id (valid for 0 <= id < site_count()).
 SiteInfo site_info(int id) noexcept;

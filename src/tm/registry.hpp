@@ -44,6 +44,17 @@ struct alignas(kCacheLine) ThreadSlot {
   /// already-slow path, while a second counter would widen the slot.
   std::atomic<std::uint32_t> parked{0};
 
+  /// Begin stamp (now_ns) of the in-flight transaction, for the metrics
+  /// sampler's oldest-transaction gauge. Valid only while `seq` is odd;
+  /// written by the owner on begin/serial-enter and zeroed on exit, and only
+  /// while obs::kMetricsBit is set — the dark path never touches it.
+  std::atomic<std::uint64_t> txn_begin_ns{0};
+
+  /// Sampler-visible mirror of the owner's TxDesc::limbo_pending (deferred
+  /// frees awaiting a grace period). Updated on the limbo enqueue/drain
+  /// paths, which are never hot.
+  std::atomic<std::uint64_t> limbo_pending{0};
+
   TxStats stats;
 };
 
@@ -81,6 +92,13 @@ struct alignas(kCacheLine) GraceState {
 
   /// Threads parked on `completed` — checked before notify_all.
   std::atomic<std::uint32_t> parked{0};
+
+  /// Duration of the most recent grace scan pass and the cumulative scan
+  /// time, in nanoseconds. Stamped by the scanner in grace_sync only while
+  /// obs::kMetricsBit is set (metrics-sampler gauges; 0 until a metered
+  /// pass runs).
+  std::atomic<std::uint64_t> last_scan_ns{0};
+  std::atomic<std::uint64_t> scan_ns_total{0};
 };
 
 GraceState& grace_state() noexcept;

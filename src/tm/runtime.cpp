@@ -4,6 +4,7 @@
 
 #include "tm/config.hpp"
 #include "tm/meta.hpp"
+#include "tm/obs/site.hpp"
 #include "tm/serial_lock.hpp"
 #include "tm/stats.hpp"
 #include "util/align.hpp"
@@ -68,6 +69,8 @@ const char* validate_config(const RuntimeConfig& cfg) noexcept {
       cfg.stm_clock_mode != StmClockMode::Eager)
     return "stm_clock_mode applies only to ml_wt: tictoc has no global "
            "clock (leave stm_clock_mode at Eager with stm_algo=tictoc)";
+  if (cfg.metrics_period_ms == 0) return "metrics_period_ms must be >= 1";
+  if (cfg.metrics_history == 0) return "metrics_history must be >= 1";
   return nullptr;
 }
 
@@ -200,6 +203,10 @@ StatsSnapshot aggregate_stats() noexcept {
     for (int a = 0; a < kAbortCauseCount; ++a)
       out.aborts[a] += get(s.aborts[a]);
   }
+  // Registry overflow is a process-level event (no thread owns it): folded
+  // in here so it reaches every consumer of the X-macro snapshot. It
+  // survives reset_stats() deliberately — the registry stays full.
+  out.obs_site_overflow += obs::site_overflow_count();
   return out;
 }
 
@@ -292,7 +299,17 @@ std::string StatsSnapshot::report() const {
       (unsigned long long)gov_storm_gated,
       (unsigned long long)gov_watchdog_escalations,
       (unsigned long long)gov_stall_events);
-  return std::string(buf, buf + (n < 0 ? 0 : n));
+  std::string out(buf, buf + (n < 0 ? 0 : n));
+  if (obs_site_overflow) {
+    char warn[160];
+    const int w = std::snprintf(
+        warn, sizeof warn,
+        "WARNING: %llu TLE_TX_SITE registration(s) overflowed the %d-entry "
+        "site registry; their profiles folded into \"(unnamed)\"\n",
+        (unsigned long long)obs_site_overflow, obs::kMaxSites);
+    if (w > 0) out.append(warn, warn + w);
+  }
+  return out;
 }
 
 }  // namespace tle

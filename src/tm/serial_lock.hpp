@@ -19,6 +19,7 @@
 #include <thread>
 
 #include "tm/fault/fault.hpp"
+#include "tm/obs/site.hpp"
 #include "tm/registry.hpp"
 #include "util/timing.hpp"
 
@@ -93,6 +94,10 @@ class SerialLock {
 
   /// Acquire the write side. Caller must NOT hold the read side.
   void write_lock(ThreadSlot& me) noexcept {
+    // Metrics gauges (wait/hold time) are stamped only while kMetricsBit is
+    // set, so the dark path pays the one relaxed flag load and nothing else.
+    const bool metered = obs::flags() & obs::kMetricsBit;
+    const std::uint64_t wait_t0 = metered ? now_ns() : 0;
     pending_.fetch_add(1, std::memory_order_seq_cst);
     const unsigned spin_limit = config().park_spin_limit;
     // Compete for the writer token; losers park on writer_ (write_unlock
@@ -140,9 +145,23 @@ class SerialLock {
         slots[i].parked.fetch_sub(1, std::memory_order_seq_cst);
       }
     }
+    if (metered) {
+      const std::uint64_t now = now_ns();
+      wr_wait_ns_.fetch_add(now - wait_t0, std::memory_order_relaxed);
+      wr_acquires_.fetch_add(1, std::memory_order_relaxed);
+      wr_held_since_.store(now, std::memory_order_relaxed);
+    }
   }
 
   void write_unlock(ThreadSlot& me) noexcept {
+    // Hold time closes against the stamp write_lock left (0 when metrics
+    // were off at acquisition — then the hold is simply not accounted).
+    const std::uint64_t since =
+        wr_held_since_.load(std::memory_order_relaxed);
+    if (since) {
+      wr_hold_ns_.fetch_add(now_ns() - since, std::memory_order_relaxed);
+      wr_held_since_.store(0, std::memory_order_relaxed);
+    }
     writer_.store(0, std::memory_order_seq_cst);
     if (wr_parked_.load(std::memory_order_seq_cst) != 0) writer_.notify_all();
     // Perturbation point: between the writer-token release and the pending_
@@ -199,6 +218,31 @@ class SerialLock {
     return writer_.load(std::memory_order_acquire) != 0;
   }
 
+  // --- interval-metrics gauges (obs/metrics.cpp) -------------------------
+  // Write-side totals, covering only periods when obs::kMetricsBit was set
+  // at acquisition. All relaxed: cold path + sampler reads.
+
+  /// Cumulative time writers spent acquiring (pending -> all readers out).
+  std::uint64_t write_wait_ns_total() const noexcept {
+    return wr_wait_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Cumulative time the write side was held.
+  std::uint64_t write_hold_ns_total() const noexcept {
+    return wr_hold_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Metered write-side acquisitions.
+  std::uint64_t write_acquires() const noexcept {
+    return wr_acquires_.load(std::memory_order_relaxed);
+  }
+
+  /// now_ns() stamp of the current writer's acquisition, 0 when free (or
+  /// when the hold is unmetered).
+  std::uint64_t write_held_since_ns() const noexcept {
+    return wr_held_since_.load(std::memory_order_relaxed);
+  }
+
  private:
   alignas(kCacheLine) std::atomic<std::uint32_t> pending_{0};
   alignas(kCacheLine) std::atomic<std::uint32_t> writer_{0};
@@ -207,6 +251,13 @@ class SerialLock {
   /// syscall-free.
   alignas(kCacheLine) std::atomic<std::uint32_t> rd_parked_{0};
   std::atomic<std::uint32_t> wr_parked_{0};
+
+  // Metrics accumulators (see accessors above). Cold: touched only on the
+  // serial write path while metering is on, read by the sampler.
+  std::atomic<std::uint64_t> wr_wait_ns_{0};
+  std::atomic<std::uint64_t> wr_hold_ns_{0};
+  std::atomic<std::uint64_t> wr_acquires_{0};
+  std::atomic<std::uint64_t> wr_held_since_{0};
 };
 
 /// The process-wide serial lock (defined in runtime.cpp).

@@ -73,7 +73,8 @@ namespace tle {
   X(gov_storm_exits, "abort-storm gate releases")                           \
   X(gov_storm_gated, "speculative attempts held at the storm gate")         \
   X(gov_watchdog_escalations, "starving transactions escalated to serial")  \
-  X(gov_stall_events, "quiesce/drain stalls exceeding watchdog_stall_ns")
+  X(gov_stall_events, "quiesce/drain stalls exceeding watchdog_stall_ns")    \
+  X(obs_site_overflow, "TLE_TX_SITE registrations folded into id 0: full")
 
 /// Number of scalar counters in the X-macro (excludes the abort array).
 inline constexpr int kTxStatsCounterCount = 0

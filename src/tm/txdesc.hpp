@@ -285,7 +285,11 @@ struct TxDesc {
   /// shares the hot section-state cache line without shifting any of the
   /// PR-4-placed fields below.
   StmAlgo algo = StmAlgo::MlWt;
-  std::uint64_t obs_t0 = 0;  ///< attempt start stamp (obs enabled only)
+  /// Attempt start stamp (obs enabled only). When kMetricsBit is set the
+  /// begin/serial-enter paths also mirror it into slot->txn_begin_ns so the
+  /// metrics sampler can compute the oldest-in-flight-transaction gauge
+  /// without touching this (unsynchronized) descriptor.
+  std::uint64_t obs_t0 = 0;
 
   // --- STM -------------------------------------------------------------
   std::uint64_t rv = 0;   ///< validity timestamp (snapshot)

@@ -1,0 +1,90 @@
+// Regression test for the site-registry overflow path. It deliberately
+// fills the 128-entry registry past capacity, so it lives in its own binary:
+// the registry is process-global and stays full for the life of the process.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "tm/obs/export.hpp"
+#include "tm/obs/site.hpp"
+#include "tm/stats.hpp"
+
+namespace tle {
+namespace {
+
+// Registered names must outlive the process-global registry.
+char g_names[obs::kMaxSites + 8][32];
+
+TEST(SiteOverflow, RegistrationsPastCapacityFoldIntoIdZero) {
+  ASSERT_EQ(obs::site_overflow_count(), 0u)
+      << "this binary must start with a non-overflowed registry";
+  const int before = obs::site_count();
+  ASSERT_GE(before, 1);  // id 0 is always reserved
+
+  // kMaxSites + 8 registrations guarantees > kMaxSites total even from an
+  // empty registry (the issue's 129-site scenario and then some).
+  int folded = 0;
+  std::uint16_t last_named = 0;
+  for (int i = 0; i < obs::kMaxSites + 8; ++i) {
+    std::snprintf(g_names[i], sizeof g_names[i], "overflow/site_%03d", i);
+    const obs::TxSite s(g_names[i], __FILE__, i + 1);
+    if (s.id == 0)
+      ++folded;
+    else
+      last_named = s.id;
+  }
+
+  // The registry clamps at capacity; every late arrival folded into id 0.
+  EXPECT_EQ(obs::site_count(), obs::kMaxSites);
+  const int expected_folded = before + obs::kMaxSites + 8 - obs::kMaxSites;
+  EXPECT_EQ(folded, expected_folded);
+  EXPECT_EQ(obs::site_overflow_count(),
+            static_cast<std::uint64_t>(expected_folded));
+  EXPECT_EQ(static_cast<int>(last_named), obs::kMaxSites - 1);
+  EXPECT_STREQ(obs::site_info(0).name, "(unnamed)");
+
+  // The ids that did register still resolve to their own names.
+  const obs::SiteInfo in = obs::site_info(last_named);
+  EXPECT_STREQ(in.name, g_names[obs::kMaxSites - 1 - before]);
+
+  // One more registration keeps counting.
+  const obs::TxSite extra("overflow/extra", __FILE__, __LINE__);
+  EXPECT_EQ(extra.id, 0);
+  EXPECT_EQ(obs::site_overflow_count(),
+            static_cast<std::uint64_t>(expected_folded) + 1);
+}
+
+TEST(SiteOverflow, SurfacesInStatsSnapshotAndReport) {
+  // Self-sufficient under per-case sharding (ctest runs each case in its
+  // own process): overflow the registry here if the first test has not.
+  if (obs::site_overflow_count() == 0) {
+    static char names[obs::kMaxSites + 1][32];
+    for (int i = 0; i <= obs::kMaxSites; ++i) {
+      std::snprintf(names[i], sizeof names[i], "overflow2/site_%03d", i);
+      const obs::TxSite s(names[i], __FILE__, i + 1);
+      (void)s;
+    }
+  }
+  const std::uint64_t ov = obs::site_overflow_count();
+  ASSERT_GT(ov, 0u);
+
+  const StatsSnapshot s = aggregate_stats();
+  EXPECT_EQ(s.obs_site_overflow, ov);
+
+  const std::string r = s.report();
+  EXPECT_NE(r.find("WARNING"), std::string::npos);
+  EXPECT_NE(r.find("overflowed"), std::string::npos);
+  EXPECT_NE(r.find("(unnamed)"), std::string::npos);
+
+  // Process-level by design: a stats reset must not erase the evidence.
+  reset_stats();
+  EXPECT_EQ(aggregate_stats().obs_site_overflow, ov);
+
+  // The tle-obs/v1 dump names the counter too (schema completeness).
+  const std::string json = obs::obs_json();
+  EXPECT_NE(json.find("\"obs_site_overflow\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tle

@@ -256,6 +256,9 @@ void emit_json(const char* path, const std::vector<CellResult>& cells,
     j.kv("stm_read_dedup", c.stats.stm_read_dedup);
     j.kv("htm_read_dedup", c.stats.htm_read_dedup);
     j.kv("htm_rw_hits", c.stats.htm_rw_hits);
+    j.kv("htm_routed_frees", c.stats.htm_routed_frees);
+    j.kv("priv_immediate_frees", c.stats.priv_immediate_frees);
+    j.kv("priv_limbo_routed", c.stats.priv_limbo_routed);
     j.end_obj();
     if (c.workload == "read_own_write" && c.mode == ExecMode::Htm)
       htm_row = c.ops_per_sec();

@@ -31,7 +31,8 @@ import tempfile
 
 TOTALS_FIELDS = ["txn_starts", "commits", "aborts", "serial_commits",
                  "serial_fallbacks", "lock_sections", "limbo_enqueued",
-                 "limbo_drained"]
+                 "limbo_drained", "htm_routed_frees", "priv_immediate_frees",
+                 "priv_limbo_routed"]
 GAUGE_FIELDS = ["inflight_txns", "limbo_pending", "storm_active",
                 "storm_inflight", "storm_gated", "watchdog_escalations"]
 GAUGE_TIME_FIELDS = ["oldest_txn_age_ns", "grace_last_scan_ns",

@@ -29,7 +29,9 @@ REQUIRED_COUNTERS = [
     "quiesce_spins", "quiesce_wait_ns", "grace_scans", "grace_shared",
     "parked_waits", "limbo_enqueued", "limbo_drained", "limbo_forced_flush",
     "noquiesce_requests", "noquiesce_honored", "noquiesce_ignored_nested",
-    "noquiesce_ignored_free", "tm_allocs", "tm_frees", "deferred_run",
+    "noquiesce_ignored_free", "noquiesce_ignored_htm", "htm_routed_frees",
+    "priv_immediate_frees", "priv_limbo_routed",
+    "tm_allocs", "tm_frees", "deferred_run",
     "condvar_waits", "condvar_timeouts", "htm_retries", "stm_read_dedup",
     "htm_read_dedup", "htm_rw_hits", "stripe_bumps",
     "stripe_false_revalidations", "lazy_sub_commits", "gclock_advances",
@@ -53,6 +55,7 @@ SITE_FIELDS = ["id", "name", "file", "line", "attempts", "commits",
                "stripe_false_revalidations", "lazy_sub_commits",
                "tictoc_extensions", "tictoc_extension_fails",
                "tictoc_wts_waits", "tictoc_lock_timeouts",
+               "htm_routed_frees", "priv_limbo_routed", "audit_hazard_arms",
                "aborts", "aborts_total",
                "attempt_ns_hist", "quiesce_ns_hist"]
 

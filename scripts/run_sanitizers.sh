@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Sanitizer presets over the tier-1 suites most sensitive to the TM
 # runtime's memory and ordering tricks: the TM core (longjmp rollback,
-# allocation logs), privatization (quiesce-before-free), the data
+# allocation logs), privatization (quiesce-before-free and the mode-aware
+# routed reclamation, rerun under a seeded htm_zombie fault matrix), the data
 # structures (node reclamation under concurrency), the engine edge cases,
 # the quiescence substrate (grace sharing, parking, limbo reclamation), the
 # observability layer (seqlock trace ring under concurrent
@@ -43,6 +44,16 @@ SUITES="tm_core_test tm_privatization_test dstruct_test tm_engine_edge_test quie
 FAULT_SUITES="tm_core_test sync_stress_test quiesce_stress_test"
 FAULT_SEED=20260806
 
+# Privatization suite (hard-gating): the mode-aware reclamation routing is
+# additionally driven through five seeded reruns with perturbation parked
+# directly inside the simulated-HTM zombie window (delay/yield@htm_zombie),
+# so ASan catches any privatizing free that escapes the limbo routing and
+# TSan checks the epoch/limbo edges under the stretched window. The plan is
+# perturbation-only: aborts would retry the rendezvous tests' pinned
+# interleavings out of existence.
+PRIV_SEEDS="1 2 3 4 5"
+PRIV_PLAN="delay@htm_zombie=0.3/20000,yield@htm_zombie=0.3"
+
 run_preset() {
   local name=$1 flags=$2
   for test in $SUITES; do
@@ -56,6 +67,11 @@ run_preset() {
   for test in $FAULT_SUITES; do
     echo "== $test ($name, TLE_FAULT_SEED=$FAULT_SEED)"
     TLE_FAULT_SEED=$FAULT_SEED "$OUT/$test-$name"
+  done
+  for seed in $PRIV_SEEDS; do
+    echo "== tm_privatization_test ($name, htm_zombie plan, seed $seed)"
+    TLE_FAULT_SEED=$((FAULT_SEED + seed)) TLE_FAULT_PLAN="$PRIV_PLAN" \
+      "$OUT/tm_privatization_test-$name"
   done
 }
 

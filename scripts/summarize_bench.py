@@ -75,6 +75,7 @@ def summarize_tm_ops(path):
     by_wl = defaultdict(list)
     for r in doc.get("results", []):
         by_wl[r.get("workload", "?")].append(r)
+    routed = immediate = 0
     for wl, cells in by_wl.items():
         parts = []
         for c in cells:
@@ -84,7 +85,13 @@ def summarize_tm_ops(path):
             if dedup:
                 tag += "*"  # dedup/index hits recorded for this cell
             parts.append(tag)
+            routed += (c.get("htm_routed_frees", 0)
+                       + c.get("priv_limbo_routed", 0))
+            immediate += c.get("priv_immediate_frees", 0)
         print(f"  {wl:16s} ops/s: " + "  ".join(parts))
+    if routed or immediate:
+        print(f"  routed frees: {routed} via limbo (HTM readers in flight), "
+              f"{immediate} immediate")
     sp = doc.get("speedup_vs_prepr", {})
     base = doc.get("baseline_prepr", {})
     if sp:

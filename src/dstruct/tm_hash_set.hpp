@@ -24,7 +24,8 @@ class TmHashSet {
       Node* n = heads_[i];
       while (n) {
         Node* next = n->next.unsafe_get();
-        delete n;
+        // Routed delete: see TmListSet::~TmListSet().
+        tm_private_delete(n);
         n = next;
       }
     }

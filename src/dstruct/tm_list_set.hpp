@@ -23,10 +23,13 @@ class TmListSet {
   }
 
   ~TmListSet() {
+    // Routed delete: teardown usually runs single-threaded (predicate false,
+    // immediate free), but a straggling simulated-HTM reader keeps these
+    // nodes alive through limbo instead of racing the destructor.
     Node* n = head_;
     while (n) {
       Node* next = n->next.unsafe_get();
-      delete n;
+      tm_private_delete(n);
       n = next;
     }
   }

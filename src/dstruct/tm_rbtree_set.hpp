@@ -25,7 +25,7 @@ class TmRbTreeSet {
 
   ~TmRbTreeSet() {
     free_subtree(root_.unsafe_get());
-    delete nil_;
+    tm_private_delete(nil_);  // routed delete: see TmListSet::~TmListSet()
   }
 
   TmRbTreeSet(const TmRbTreeSet&) = delete;
@@ -305,7 +305,7 @@ class TmRbTreeSet {
     if (n == nil_ || n == nullptr) return;
     free_subtree(n->left.unsafe_get());
     free_subtree(n->right.unsafe_get());
-    delete n;
+    tm_private_delete(n);  // routed delete: see TmListSet::~TmListSet()
   }
 
   std::size_t count_subtree(Node* n) const {

@@ -24,7 +24,8 @@ class TmSkipListSet {
     Node* n = head_;
     while (n) {
       Node* next = n->next[0].unsafe_get();
-      delete n;
+      // Routed delete: see TmListSet::~TmListSet().
+      tm_private_delete(n);
       n = next;
     }
   }

@@ -54,7 +54,10 @@ class OutputCollector {
 
   ~OutputCollector() {
     // Normally all slots are consumed; on error paths, reap leftovers.
-    for (std::size_t i = 0; i < n_; ++i) delete slots_[i].unsafe_get();
+    // Routed delete: a straggling simulated-HTM consumer could still hold a
+    // zombie reference to an undelivered slot's block.
+    for (std::size_t i = 0; i < n_; ++i)
+      tm_private_delete(slots_[i].unsafe_get());
   }
 
   /// Consumer side: publish block `idx` (ownership transfers).
@@ -164,7 +167,9 @@ std::vector<std::uint8_t> compress(const std::vector<std::uint8_t>& input,
     std::vector<std::uint8_t>* blk = collected.await(i);
     put_u32(&out, static_cast<std::uint32_t>(blk->size()));
     out.insert(out.end(), blk->begin(), blk->end());
-    delete blk;
+    // Writer-side privatization: await() detached the block from the shared
+    // slot, but a consumer elided under simulated HTM may still be mid-read.
+    tm_private_delete(blk);
   }
 
   producer.join();
@@ -243,7 +248,7 @@ DecompressResult decompress(const std::vector<std::uint8_t>& stream,
   for (std::uint32_t i = 0; i < nblocks; ++i) {
     std::vector<std::uint8_t>* blk = collected.await(i);
     res.data.insert(res.data.end(), blk->begin(), blk->end());
-    delete blk;
+    tm_private_delete(blk);  // same writer-side privatization as compress()
   }
   producer.join();
   for (auto& w : workers) w.join();

@@ -138,6 +138,16 @@ class TxContext {
       s.bump(s.noquiesce_ignored_nested);
       return;
     }
+    // Simulated-HTM attempts never quiesce anyway, but a skip assertion
+    // made here must not license anything downstream (an immediate free, a
+    // skipped audit arm) while lazily-validating HTM peers are in flight:
+    // the paper's "HTM needs no quiescence" identity is a property of
+    // eager coherence aborts that our simulation does not have. Ignore
+    // with accounting instead of silently honoring.
+    if (tx_->access == AccessMode::Htm && htm_readers_possible()) {
+      s.bump(s.noquiesce_ignored_htm);
+      return;
+    }
     tx_->noquiesce_req = true;
   }
 
@@ -424,6 +434,33 @@ void synchronized_do(const obs::TxSite& site, F&& body) {
 /// for every in-flight transaction to finish. Useful in tests and when
 /// hand-publishing data.
 void tm_fence();
+
+// ---------------------------------------------------------------------------
+// Privatization-safe reclamation (mode-aware routing)
+// ---------------------------------------------------------------------------
+// On real silicon a privatizing commit coherence-aborts every speculative
+// reader instantly, so the privatizer's subsequent `delete` is safe without
+// quiescence. Our simulated HTM validates lazily: a zombie reader may issue
+// one more value-validated load of the detached block before it notices the
+// commit sequence moved. These wrappers are the privatizer-side `delete`
+// replacement: free immediately when no simulated-HTM reader can be in
+// flight (htm_readers_possible() — see txdesc.hpp), otherwise park the
+// block in the limbo machinery until a grace period waits the zombies out.
+// Accounted by priv_immediate_frees / priv_limbo_routed.
+
+/// Typed post-privatization delete. The destructor runs immediately — a
+/// zombie only ever re-loads tm_var cell values, never container internals
+/// — while the raw storage takes the mode-aware routed path.
+template <typename T>
+void tm_private_delete(T* p) {
+  if (!p) return;
+  if constexpr (!std::is_trivially_destructible_v<T>) p->~T();
+  tm_private_free(const_cast<void*>(static_cast<const void*>(p)));
+}
+
+/// Macro spelling for call sites that style engine services in the paper's
+/// TM_* naming (mirrors TM_NoQuiesce). Expands to tm_private_delete.
+#define TM_PRIVATE_FREE(ptr) ::tle::tm_private_delete(ptr)
 
 // ---------------------------------------------------------------------------
 // Lock elision

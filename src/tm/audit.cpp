@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <mutex>
 
+#include "tm/obs/site.hpp"
 #include "tm/registry.hpp"
 #include "tm/txdesc.hpp"
 
@@ -23,6 +24,9 @@ struct HazardState {
   int nwrites = 0;
   bool writes_overflowed = false;
   bool armed = false;
+  // TLE_TX_SITE of the commit that armed the hazard, so a finding names
+  // the offending section instead of just the thread.
+  std::uint16_t site = 0;
 };
 
 HazardState g_hazard[kMaxThreads];
@@ -79,6 +83,12 @@ void on_unquiesced_commit(TxDesc& tx) noexcept {
     h.writes[h.nwrites++] = w.addr;
   }
   h.armed = any_peer_running;
+  h.site = tx.site;
+  // Per-site obs attribution: the ranked site table can then name the
+  // TLE_TX_SITE whose unquiesced commits arm privatization hazards.
+  if (h.armed && (obs::flags() & obs::kProfileBit))
+    obs::site_counters(tx.slot_id, tx.site)
+        .audit_hazard_arms.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> g(g_report_mutex);
   ++g_report.unquiesced_commits;
 }
@@ -123,11 +133,13 @@ void on_unsafe_access(const void* addr) noexcept {
   std::lock_guard<std::mutex> g(g_report_mutex);
   ++g_report.flagged_accesses;
   if (g_report.samples.size() < kMaxSamples) {
-    char buf[128];
+    const char* site_name = obs::site_info(h.site).name;
+    char buf[192];
     std::snprintf(buf, sizeof buf,
                   "thread %d touched %p non-transactionally while thread %d's "
-                  "transaction (overlapping an unquiesced commit) still runs",
-                  me, addr, witness);
+                  "transaction (overlapping an unquiesced commit at site "
+                  "\"%s\") still runs",
+                  me, addr, witness, site_name);
     g_report.samples.emplace_back(buf);
   }
 }

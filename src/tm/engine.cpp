@@ -64,6 +64,10 @@ std::uint32_t obs_wset(const TxDesc& tx) noexcept {
 
 void epoch_enter(TxDesc& tx) noexcept {
   tx.slot->domain.store(tx.domain, std::memory_order_relaxed);
+  // Mode flag for htm_readers_possible(): stored before the seq_cst seq
+  // bump, so a scanner that observes the odd seq also observes the flag.
+  tx.slot->htm_active.store(tx.access == AccessMode::Htm ? 1 : 0,
+                            std::memory_order_relaxed);
   // seq_cst so the odd value is globally visible before any transactional
   // read — a peer that misses it could under-wait in quiescence.
   tx.slot->seq.fetch_add(1, std::memory_order_seq_cst);
@@ -234,6 +238,12 @@ std::uint64_t htm_read(TxDesc& tx, const std::atomic<std::uint64_t>& cell) {
   }
 
   const unsigned s = htm_subscribe_stripe(tx, &cell);
+  // Zombie window (deterministic reproduction): between a peer's privatizing
+  // commit and this read's post-load stripe check, the load below touches
+  // memory the peer may already consider private. A Delay rule at htm_zombie
+  // parks the reader exactly here, so a racing free turns the next load into
+  // a certain use-after-free unless the free was limbo-routed.
+  maybe_perturb(st(tx), fault::Hook::HtmZombieLoad);
   std::uint64_t val;
   for (;;) {
     if (tx.hsub_dirty) {
@@ -666,6 +676,58 @@ void quiesce_wait(TxDesc& tx, bool all_domains) {
   }
 }
 
+bool htm_readers_possible() noexcept {
+  ThreadSlot* slots = slot_table();
+  const int hw = slot_high_water();
+  const int self = my_slot_id();
+  for (int i = 0; i < hw; ++i) {
+    if (i == self) continue;
+    // Acquire on seq synchronizes with the seq_cst epoch-enter RMW, making
+    // the program-ordered-earlier htm_active store visible whenever the odd
+    // seq is. A stale flag on an even slot is never consulted.
+    const std::uint64_t s = slots[i].seq.load(std::memory_order_acquire);
+    if ((s & 1) != 0 &&
+        slots[i].htm_active.load(std::memory_order_relaxed) != 0)
+      return true;
+  }
+  return false;
+}
+
+void tm_private_free(void* p) {
+  if (!p) return;
+  TxDesc& tx = TxDesc::current();
+  TxStats& s = st(tx);
+  if (tx.in_txn()) {
+    // Inside a section the ordinary deferred-free path already provides the
+    // right lifetime (post-commit limbo, or the mode-aware serial-exit
+    // routing above).
+    tx.frees.push_back(p);
+    tx.freed_memory = true;
+    return;
+  }
+  // Non-transactional privatizer (detach committed, now reclaiming). An
+  // in-flight simulated-HTM reader validates lazily: it can issue one more
+  // value-validated load of this block before noticing the commit sequence
+  // moved, so the block must outlive every transaction in flight right now.
+  // Park it in limbo under the next grace ticket; STM peers (and none at
+  // all) license the immediate free the paper's identity promises.
+  if (htm_readers_possible()) {
+    tx.frees.push_back(p);
+    limbo_enqueue(tx);
+    s.bump(s.priv_limbo_routed);
+    if (obs::flags() & obs::kProfileBit)
+      obs::site_counters(tx.slot_id, tx.site)
+          .priv_limbo_routed.fetch_add(1, std::memory_order_relaxed);
+    limbo_drain(tx,
+                /*force=*/tx.limbo_pending > config().limbo_max_pending);
+  } else {
+    ::operator delete(p);
+    s.bump(s.priv_immediate_frees);
+    // Opportunistic drain: release whatever a grace period already covers.
+    if (!tx.limbo.empty()) limbo_drain(tx, /*force=*/false);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Shared speculative lifecycle
 // ---------------------------------------------------------------------------
@@ -953,15 +1015,36 @@ void tx_serial_enter(TxDesc& tx) {
 }
 
 void tx_serial_exit(TxDesc& tx) {
-  // No concurrent transactions exist: frees are immediate, no quiescence.
-  for (void* p : tx.frees) ::operator delete(p);
-  if (!tx.frees.empty()) st(tx).bump(st(tx).tm_frees, tx.frees.size());
-  tx.frees.clear();
-  // The write lock drained every reader, so a full grace period has
-  // trivially elapsed for anything this thread had in limbo: certify and
-  // drain it while the storage is provably unreferenced.
+  // The write lock drains every SUBSCRIBING reader, but a lazy-subscription
+  // simulated-HTM attempt (HtmSubscription::Lazy) holds no serial-lock
+  // reader slot and looks at the lock only at commit: such a zombie can
+  // still issue one value-validated load of anything this section frees.
+  // Mode-aware routing: with HTM readers in flight, frees park in limbo
+  // (their grace ticket waits the zombies out) instead of freeing now, and
+  // the lock-based limbo self-certification below is forfeited.
+  const bool htm_risk = htm_readers_possible();
+  if (!tx.frees.empty()) {
+    if (htm_risk) {
+      st(tx).bump(st(tx).htm_routed_frees, tx.frees.size());
+      if (obs::flags() & obs::kProfileBit)
+        obs::site_counters(tx.slot_id, tx.site)
+            .htm_routed_frees.fetch_add(tx.frees.size(),
+                                        std::memory_order_relaxed);
+      limbo_enqueue(tx);
+    } else {
+      // No concurrent readers can exist: frees are immediate.
+      for (void* p : tx.frees) ::operator delete(p);
+      st(tx).bump(st(tx).tm_frees, tx.frees.size());
+      tx.frees.clear();
+    }
+  }
   if (!tx.limbo.empty()) {
-    tx.limbo_certified = tx.limbo_seq;
+    // The write lock drained every subscribing reader, so a full grace
+    // period has trivially elapsed for anything this thread had in limbo:
+    // certify and drain it while the storage is provably unreferenced —
+    // unless an unsubscribed HTM zombie may still hold references, in
+    // which case batches wait for their genuine grace tickets.
+    if (!htm_risk) tx.limbo_certified = tx.limbo_seq;
     limbo_drain(tx, /*force=*/false);
   }
   epoch_exit(tx);

@@ -117,6 +117,7 @@ constexpr NameMap kHookNames[] = {
     {"gov_drain", static_cast<int>(Hook::GovDrain)},
     {"gov_gate", static_cast<int>(Hook::GovGate)},
     {"tt_commit", static_cast<int>(Hook::TtCommit)},
+    {"htm_zombie", static_cast<int>(Hook::HtmZombieLoad)},
 };
 static_assert(sizeof(kHookNames) / sizeof(kHookNames[0]) == kHookCount);
 

@@ -58,6 +58,7 @@ enum class Hook : std::uint8_t {
   GovDrain,       ///< governor: before a serial-pending drain wait
   GovGate,        ///< governor: each pass of a storm-gate admission wait
   TtCommit,       ///< tictoc commit: inside the lock->validate->publish window
+  HtmZombieLoad,  ///< simulated-HTM read: post-peer-commit, pre-revalidation
   kCount,
 };
 inline constexpr int kHookCount = static_cast<int>(Hook::kCount);

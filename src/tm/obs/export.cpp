@@ -97,6 +97,9 @@ std::vector<SiteProfile> collect_site_profiles() {
       p.tictoc_extension_fails += ld(c.tictoc_extension_fails);
       p.tictoc_wts_waits += ld(c.tictoc_wts_waits);
       p.tictoc_lock_timeouts += ld(c.tictoc_lock_timeouts);
+      p.htm_routed_frees += ld(c.htm_routed_frees);
+      p.priv_limbo_routed += ld(c.priv_limbo_routed);
+      p.audit_hazard_arms += ld(c.audit_hazard_arms);
       for (int a = 0; a < kAbortCauseCount; ++a)
         p.aborts[a] += ld(c.aborts[a]);
       for (int b = 0; b < LatencyHist::kBuckets; ++b) {
@@ -233,6 +236,12 @@ std::string obs_json() {
                (unsigned long long)p.tictoc_extension_fails,
                (unsigned long long)p.tictoc_wts_waits,
                (unsigned long long)p.tictoc_lock_timeouts);
+    append_fmt(out,
+               "\"htm_routed_frees\":%llu,\"priv_limbo_routed\":%llu,"
+               "\"audit_hazard_arms\":%llu,",
+               (unsigned long long)p.htm_routed_frees,
+               (unsigned long long)p.priv_limbo_routed,
+               (unsigned long long)p.audit_hazard_arms);
     out += "\"aborts\":{";
     for (int a = 1; a < kAbortCauseCount; ++a)
       append_fmt(out, "%s\"%s\":%llu", a == 1 ? "" : ",",

@@ -41,6 +41,9 @@ struct SiteProfile {
   std::uint64_t tictoc_extension_fails = 0;
   std::uint64_t tictoc_wts_waits = 0;
   std::uint64_t tictoc_lock_timeouts = 0;
+  std::uint64_t htm_routed_frees = 0;
+  std::uint64_t priv_limbo_routed = 0;
+  std::uint64_t audit_hazard_arms = 0;
   std::uint64_t aborts[static_cast<int>(AbortCause::kCount)] = {};
   std::uint64_t attempt_hist[LatencyHist::kBuckets] = {};
   std::uint64_t quiesce_hist[LatencyHist::kBuckets] = {};

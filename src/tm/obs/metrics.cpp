@@ -187,6 +187,10 @@ MetricsWindow tick_locked(State& st, bool final_flush) {
   w.lock_sections = delta(cur.lock_sections, prev.lock_sections);
   w.limbo_enqueued = delta(cur.limbo_enqueued, prev.limbo_enqueued);
   w.limbo_drained = delta(cur.limbo_drained, prev.limbo_drained);
+  w.htm_routed_frees = delta(cur.htm_routed_frees, prev.htm_routed_frees);
+  w.priv_immediate_frees =
+      delta(cur.priv_immediate_frees, prev.priv_immediate_frees);
+  w.priv_limbo_routed = delta(cur.priv_limbo_routed, prev.priv_limbo_routed);
 
   // Per-site deltas; only sites active inside the window are materialized.
   collect_sites(st.cur_sites.get());
@@ -311,14 +315,19 @@ std::string metrics_json(const MetricsWindow& w) {
              "\"totals\":{\"txn_starts\":%llu,\"commits\":%llu,"
              "\"aborts\":%llu,\"serial_commits\":%llu,"
              "\"serial_fallbacks\":%llu,\"lock_sections\":%llu,"
-             "\"limbo_enqueued\":%llu,\"limbo_drained\":%llu",
+             "\"limbo_enqueued\":%llu,\"limbo_drained\":%llu,"
+             "\"htm_routed_frees\":%llu,\"priv_immediate_frees\":%llu,"
+             "\"priv_limbo_routed\":%llu",
              (unsigned long long)w.txn_starts, (unsigned long long)w.commits,
              (unsigned long long)w.aborts,
              (unsigned long long)w.serial_commits,
              (unsigned long long)w.serial_fallbacks,
              (unsigned long long)w.lock_sections,
              (unsigned long long)w.limbo_enqueued,
-             (unsigned long long)w.limbo_drained);
+             (unsigned long long)w.limbo_drained,
+             (unsigned long long)w.htm_routed_frees,
+             (unsigned long long)w.priv_immediate_frees,
+             (unsigned long long)w.priv_limbo_routed);
   if (!w.deterministic) {
     const double abort_ratio =
         w.txn_starts ? static_cast<double>(w.aborts) /
@@ -420,6 +429,14 @@ std::string prometheus_text() {
           snap.serial_fallbacks);
   counter("tle_lock_sections_total", "Sections run under the real lock.",
           snap.lock_sections);
+  counter("tle_htm_routed_frees_total",
+          "Engine frees limbo-routed because HTM readers were in flight.",
+          snap.htm_routed_frees);
+  counter("tle_priv_immediate_frees_total",
+          "tm_private_free blocks released immediately.",
+          snap.priv_immediate_frees);
+  counter("tle_priv_limbo_routed_total",
+          "tm_private_free blocks parked in limbo.", snap.priv_limbo_routed);
   out +=
       "# HELP tle_aborts_total Speculative aborts by cause.\n"
       "# TYPE tle_aborts_total counter\n";

@@ -95,6 +95,9 @@ struct MetricsWindow {
   std::uint64_t lock_sections = 0;
   std::uint64_t limbo_enqueued = 0;
   std::uint64_t limbo_drained = 0;
+  std::uint64_t htm_routed_frees = 0;
+  std::uint64_t priv_immediate_frees = 0;
+  std::uint64_t priv_limbo_routed = 0;
   MetricsGauges gauges;
   std::vector<SiteWindow> sites;
 

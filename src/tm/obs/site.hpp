@@ -100,6 +100,9 @@ struct SiteCounters {
   Counter tictoc_extension_fails{0};  ///< tictoc extensions failed: value changed
   Counter tictoc_wts_waits{0};        ///< tictoc bounded waits on a locked orec
   Counter tictoc_lock_timeouts{0};    ///< tictoc lock waits that expired
+  Counter htm_routed_frees{0};    ///< serial-exit frees limbo-routed: HTM risk
+  Counter priv_limbo_routed{0};   ///< tm_private_free blocks parked in limbo
+  Counter audit_hazard_arms{0};   ///< §IV-C hazards armed by this site's commits
   Counter aborts[static_cast<int>(AbortCause::kCount)] = {};
 
   LatencyHist attempt_ns;  ///< duration of each attempt (commit or abort)

@@ -55,6 +55,14 @@ struct alignas(kCacheLine) ThreadSlot {
   /// paths, which are never hot.
   std::atomic<std::uint64_t> limbo_pending{0};
 
+  /// 1 while the in-flight transaction (seq odd) runs in simulated-HTM
+  /// mode. Stored relaxed on every epoch enter, program-ordered before the
+  /// seq_cst `seq` bump, so any scanner that observes the odd seq also
+  /// observes this flag. Consulted by htm_readers_possible(): simulated-HTM
+  /// readers validate lazily and can touch freed memory one load after a
+  /// privatizing commit, so frees racing them must route through limbo.
+  std::atomic<std::uint8_t> htm_active{0};
+
   TxStats stats;
 };
 

@@ -43,6 +43,10 @@ namespace tle {
   X(noquiesce_honored, "commits that skipped quiescence")                   \
   X(noquiesce_ignored_nested, "calls ignored: nested txn (SIV-B)")          \
   X(noquiesce_ignored_free, "skips denied: txn freed memory")               \
+  X(noquiesce_ignored_htm, "skips denied: simulated-HTM readers possible")  \
+  X(htm_routed_frees, "engine frees routed to limbo: HTM readers in-flight") \
+  X(priv_immediate_frees, "tm_private_free released immediately")           \
+  X(priv_limbo_routed, "tm_private_free routed through limbo")              \
   X(tm_allocs, "transactional allocations")                                 \
   X(tm_frees, "transactional frees")                                        \
   X(deferred_run, "deferred actions executed post-commit")                  \

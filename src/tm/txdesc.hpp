@@ -498,4 +498,19 @@ void tx_backoff(TxDesc& tx);
 /// aborts. Exposed for tests and for tm_fence().
 void quiesce_wait(TxDesc& tx, bool all_domains = false);
 
+/// Mode-aware reclamation predicate: true while any OTHER thread has a
+/// simulated-HTM transaction in flight. Such readers validate lazily (one
+/// value-validated load can land after a privatizing commit), so a free
+/// that can race them must route through limbo instead of releasing
+/// storage immediately. STM-only and quiet registries return false,
+/// preserving the paper's per-mode quiesce-or-free cost model.
+bool htm_readers_possible() noexcept;
+
+/// Free a privatized block from NON-transactional code (the post-detach
+/// `delete` of a privatizing writer). Routes through limbo when
+/// htm_readers_possible(), frees immediately otherwise; inside a section it
+/// degrades to the ordinary deferred-free path. See api.hpp's
+/// tm_private_delete<T>() / TM_PRIVATE_FREE for the typed wrappers.
+void tm_private_free(void* p);
+
 }  // namespace tle

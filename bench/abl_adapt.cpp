@@ -1,0 +1,490 @@
+// Ablation A7 — adaptive controller vs. static configurations.
+//
+// The paper picks ONE execution mode per run and shows no single choice wins
+// everywhere: HTM dominates small critical sections but collapses on
+// capacity overflow (13–18% serial fallback on PBZip2), STM absorbs large
+// footprints but pays per-access instrumentation, and the plain lock never
+// speculates at all. This shoot-out runs one PHASED workload — the dominant
+// failure mode shifts mid-run — under each static configuration and under
+// the adaptive controller (src/tm/control/), which starts in HTM and is
+// expected to ride each phase on the right mode:
+//
+//   hot_small  small read-modify-write txns; HTM territory.
+//   capacity   every txn writes far past the (shrunk) HTM write-set model;
+//              static HTM serializes every txn, STM commits speculatively,
+//              the controller trips Degraded on the capacity-dominated storm
+//              and performs the drained HTM->STM global switch.
+//   spurious   hot_small body again, but htm_spurious_abort_rate makes a
+//              large fraction of hardware attempts die for environmental
+//              reasons; STM (and the controller, once switched) is immune.
+//   recovery   hot_small again, clean: the controller probes its way out of
+//              Degraded and restores HTM for the tail.
+//
+// The adaptive cell drives the controller exactly like production: metrics
+// windows tick periodically and feed ctl::on_window(); per-attempt routing
+// happens through ctl::apply() inside atomic_do.
+//
+// Emits BENCH_adapt.json (schema "tle-adapt/v1", ingested by
+// scripts/summarize_bench.py):
+//
+//   {
+//     "schema": "tle-adapt/v1",
+//     "secs_per_phase": <double>, "threads": <int>,
+//     "cells": [
+//       { "config": "static-htm|static-stm|static-lock|adaptive",
+//         "phases": [
+//           { "phase": "hot_small|capacity|spurious|recovery",
+//             "txns": <uint>, "ops_per_sec": <double>,
+//             "abort_pct": <double>, "serial_pct": <double>,
+//             "capacity_aborts": <uint>, "spurious_aborts": <uint> }, ... ],
+//         "total_txns": <uint>, "total_ops_per_sec": <double>,
+//         "ctl": { "evals": <uint>, "plan_changes": <uint>,
+//                  "degraded_enters": <uint>, "degraded_exits": <uint>,
+//                  "mode_switches": <uint>, "flaps": <uint>,
+//                  "forced_serial": <uint>, "final_mode": <string> } }, ... ],
+//     "acceptance": {
+//       "adaptive_ops_per_sec": <double>,
+//       "best_static": <string>,  "best_static_ops_per_sec": <double>,
+//       "worst_static": <string>, "worst_static_ops_per_sec": <double>,
+//       "vs_best": <double>,      // >= 1.0 expected (full run)
+//       "vs_worst": <double> }    // >= 1.5 expected (full run)
+//   }
+//
+// `--smoke` runs every cell for a few milliseconds per phase and asserts
+// SHAPE and CONSERVATION only (every phase made progress, logical txns ==
+// commits + serial + lock sections, the controller actually evaluated and
+// switched); it is wired into the tier-1 ctest suite. The >= 1.0x-best /
+// >= 1.5x-worst throughput ratios are only enforced by the full run on real
+// multicore, per the abl_htm_retry / abl_commit_scale precedent.
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "tm/control/control.hpp"
+#include "tm/governor/governor.hpp"
+#include "tm/obs/metrics.hpp"
+#include "tm/obs/site.hpp"
+#include "util/barrier.hpp"
+#include "util/env.hpp"
+#include "util/timing.hpp"
+
+namespace {
+
+using namespace tle;
+using namespace tle::bench;
+
+std::atomic<std::uint64_t> g_check_failures{0};
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    g_check_failures.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr, "abl_adapt: CHECK FAILED: %s\n", what);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phased workload
+// ---------------------------------------------------------------------------
+
+enum class Phase { HotSmall, Capacity, Spurious, Recovery };
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::HotSmall: return "hot_small";
+    case Phase::Capacity: return "capacity";
+    case Phase::Spurious: return "spurious";
+    case Phase::Recovery: return "recovery";
+  }
+  return "?";
+}
+
+constexpr Phase kPhases[] = {Phase::HotSmall, Phase::Capacity,
+                             Phase::Spurious, Phase::Recovery};
+
+// The capacity phase writes this many consecutive cache lines per txn.
+// run_cell() shrinks the simulated HTM write-set model (4 sets x 2 ways = 8
+// lines) so these writes overflow it decisively while hot_small's single
+// line never does.
+constexpr int kBigLines = 64;
+constexpr int kVarsPerLine = 8;  // 8-byte tm_var<long> cells per 64 B line
+
+/// ~`iters` of abort-proof private work (xorshift64 chain).
+inline std::uint64_t private_spin(std::uint64_t x, int iters) {
+  for (int i = 0; i < iters; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  return x;
+}
+
+enum class Config { StaticHtm, StaticStm, StaticLock, Adaptive };
+
+const char* config_name(Config c) {
+  switch (c) {
+    case Config::StaticHtm: return "static-htm";
+    case Config::StaticStm: return "static-stm";
+    case Config::StaticLock: return "static-lock";
+    case Config::Adaptive: return "adaptive";
+  }
+  return "?";
+}
+
+struct PhaseResult {
+  Phase phase = Phase::HotSmall;
+  double secs = 0;
+  std::uint64_t ops = 0;
+  // Per-phase deltas of the interesting lifetime counters.
+  std::uint64_t commits = 0, serial_commits = 0, lock_sections = 0;
+  std::uint64_t aborts = 0, capacity_aborts = 0, spurious_aborts = 0;
+
+  double ops_per_sec() const {
+    return secs > 0 ? static_cast<double>(ops) / secs : 0;
+  }
+  std::uint64_t logical() const {
+    return commits + serial_commits + lock_sections;
+  }
+  double abort_pct() const {
+    const std::uint64_t att = commits + aborts;
+    return att ? 100.0 * static_cast<double>(aborts) /
+                     static_cast<double>(att)
+               : 0.0;
+  }
+  double serial_pct() const {
+    const std::uint64_t l = logical();
+    return l ? 100.0 * static_cast<double>(serial_commits) /
+                   static_cast<double>(l)
+             : 0.0;
+  }
+};
+
+struct CellResult {
+  Config cfg = Config::StaticHtm;
+  std::vector<PhaseResult> phases;
+  StatsSnapshot stats;   // lifetime totals at cell end
+  ctl::Status ctl;       // zeroed for static cells
+  std::string final_mode;
+
+  std::uint64_t total_ops() const {
+    std::uint64_t n = 0;
+    for (const PhaseResult& p : phases) n += p.ops;
+    return n;
+  }
+  double total_secs() const {
+    double s = 0;
+    for (const PhaseResult& p : phases) s += p.secs;
+    return s;
+  }
+  double total_ops_per_sec() const {
+    const double s = total_secs();
+    return s > 0 ? static_cast<double>(total_ops()) / s : 0;
+  }
+};
+
+PhaseResult run_phase(Phase phase, int threads, double secs,
+                      bool adaptive) {
+  // Phase-scoped knobs. Spurious aborts only bite speculating HTM; the
+  // other modes (and the controller after its switch) shrug them off.
+  config().htm_spurious_abort_rate =
+      phase == Phase::Spurious ? 0.6 : 0.0;
+
+  const StatsSnapshot before = aggregate_stats();
+
+  static tm_var<long> hot(0);
+  static std::vector<tm_var<long>> big(kBigLines * kVarsPerLine);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> ops{0};
+  SpinBarrier gate(static_cast<std::size_t>(threads) + 1);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      gate.arrive_and_wait();
+      std::uint64_t local = 0;
+      std::uint64_t x = 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (phase == Phase::Capacity) {
+          atomic_do(TLE_TX_SITE("adapt/big"), [&](TxContext& tx) {
+            // One write per cache line, far past the shrunk HTM model.
+            for (int i = 0; i < kBigLines; ++i)
+              tx.write(big[static_cast<std::size_t>(i) * kVarsPerLine],
+                       static_cast<long>(local + static_cast<std::uint64_t>(i)));
+          });
+        } else {
+          atomic_do(TLE_TX_SITE("adapt/hot"), [&](TxContext& tx) {
+            x = private_spin(x, 64);
+            tx.fetch_add(hot, 1L);
+          });
+        }
+        ++local;
+      }
+      benchmark::DoNotOptimize(x);
+      ops.fetch_add(local);
+    });
+  }
+
+  Stopwatch sw;
+  gate.arrive_and_wait();
+  if (adaptive) {
+    // Production shape: windows close periodically and feed the controller
+    // while the workload runs. Short windows keep the control loop's
+    // reaction time well inside even a smoke-sized phase.
+    while (sw.seconds() < secs) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      ctl::on_window(obs::metrics_tick());
+    }
+  } else {
+    while (sw.seconds() < secs) std::this_thread::yield();
+  }
+  stop.store(true);
+  const double measured = sw.seconds();
+  for (auto& w : workers) w.join();
+  if (adaptive) ctl::on_window(obs::metrics_tick());  // settle the tail
+
+  const StatsSnapshot after = aggregate_stats();
+  PhaseResult r;
+  r.phase = phase;
+  r.secs = measured;
+  r.ops = ops.load();
+  r.commits = after.commits - before.commits;
+  r.serial_commits = after.serial_commits - before.serial_commits;
+  r.lock_sections = after.lock_sections - before.lock_sections;
+  for (int c = 0; c < kAbortCauseCount; ++c)
+    r.aborts += after.aborts[c] - before.aborts[c];
+  r.capacity_aborts =
+      after.aborts[static_cast<int>(AbortCause::Capacity)] -
+      before.aborts[static_cast<int>(AbortCause::Capacity)];
+  r.spurious_aborts =
+      after.aborts[static_cast<int>(AbortCause::Spurious)] -
+      before.aborts[static_cast<int>(AbortCause::Spurious)];
+
+  check(r.ops > 0, "phase made progress");
+  // Conservation: every completed op committed exactly once, somewhere.
+  // The controller's drained mode switches each run one synchronized
+  // section of their own, which also lands in serial_commits.
+  const std::uint64_t switches =
+      after.ctl_mode_switches - before.ctl_mode_switches;
+  check(r.logical() == r.ops + switches,
+        "ops == commits + serial + lock sections");
+  config().htm_spurious_abort_rate = 0.0;
+  return r;
+}
+
+CellResult run_cell(Config cfg, int threads, double secs) {
+  // Shrunk HTM write-set model: capacity-phase txns must overflow it.
+  config().htm_write_sets = 4;
+  config().htm_write_ways = 2;
+  config().controller = cfg == Config::Adaptive;
+  set_exec_mode(cfg == Config::StaticStm    ? ExecMode::StmCondVar
+                : cfg == Config::StaticLock ? ExecMode::Lock
+                                            : ExecMode::Htm);
+  reset_stats();
+  gov::reset();
+  ctl::reset();
+  if (cfg == Config::Adaptive) {
+    // Bench-sized control knobs: evaluate every window, settle fast.
+    config().ctl_period_windows = 1;
+    config().ctl_min_samples = 32;
+    config().ctl_confidence = 2;
+    config().ctl_hold_windows = 2;
+    config().ctl_trip_windows = 2;
+    config().ctl_probe_shift = 3;
+    config().ctl_mode_switch = true;
+    obs::metrics_enable(true);
+    obs::profile_enable(true);
+    obs::metrics_reset();
+  }
+
+  CellResult r;
+  r.cfg = cfg;
+  for (Phase p : kPhases)
+    r.phases.push_back(run_phase(p, threads, secs, cfg == Config::Adaptive));
+  r.stats = aggregate_stats();
+  if (cfg == Config::Adaptive) {
+    r.ctl = ctl::status();
+    check(r.ctl.evals > 0, "adaptive cell evaluated windows");
+    obs::profile_enable(false);
+    obs::metrics_enable(false);
+  }
+  r.final_mode = to_string(live_mode());
+
+  config().controller = false;
+  ctl::reset();
+  gov::reset();
+  config().htm_write_sets = 64;
+  config().htm_write_ways = 8;
+  set_exec_mode(ExecMode::Lock);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Output
+// ---------------------------------------------------------------------------
+
+void emit_json(const char* path, const std::vector<CellResult>& cells,
+               double secs, int threads) {
+  const CellResult* adaptive = nullptr;
+  const CellResult* best = nullptr;
+  const CellResult* worst = nullptr;
+  for (const CellResult& c : cells) {
+    if (c.cfg == Config::Adaptive) {
+      adaptive = &c;
+      continue;
+    }
+    if (!best || c.total_ops_per_sec() > best->total_ops_per_sec()) best = &c;
+    if (!worst || c.total_ops_per_sec() < worst->total_ops_per_sec())
+      worst = &c;
+  }
+
+  JsonWriter j;
+  j.begin_obj();
+  j.kv("schema", "tle-adapt/v1");
+  j.kv("secs_per_phase", secs);
+  j.kv("threads", static_cast<std::uint64_t>(threads));
+  j.key("cells");
+  j.begin_arr();
+  for (const CellResult& c : cells) {
+    j.begin_obj();
+    j.kv("config", config_name(c.cfg));
+    j.key("phases");
+    j.begin_arr();
+    for (const PhaseResult& p : c.phases) {
+      j.begin_obj();
+      j.kv("phase", phase_name(p.phase));
+      j.kv("txns", p.ops);
+      j.kv("ops_per_sec", p.ops_per_sec());
+      j.kv("abort_pct", p.abort_pct());
+      j.kv("serial_pct", p.serial_pct());
+      j.kv("capacity_aborts", p.capacity_aborts);
+      j.kv("spurious_aborts", p.spurious_aborts);
+      j.end_obj();
+    }
+    j.end_arr();
+    j.kv("total_txns", c.total_ops());
+    j.kv("total_ops_per_sec", c.total_ops_per_sec());
+    j.key("ctl");
+    j.begin_obj();
+    j.kv("evals", c.ctl.evals);
+    j.kv("plan_changes", c.ctl.plan_changes);
+    j.kv("degraded_enters", c.ctl.degraded_enters);
+    j.kv("degraded_exits", c.ctl.degraded_exits);
+    j.kv("mode_switches", c.ctl.mode_switches);
+    j.kv("flaps", c.ctl.flaps);
+    j.kv("forced_serial", c.stats.ctl_forced_serial);
+    j.kv("final_mode", c.final_mode.c_str());
+    j.end_obj();
+    j.end_obj();
+  }
+  j.end_arr();
+
+  j.key("acceptance");
+  j.begin_obj();
+  if (adaptive && best && worst) {
+    const double a = adaptive->total_ops_per_sec();
+    j.kv("adaptive_ops_per_sec", a);
+    j.kv("best_static", config_name(best->cfg));
+    j.kv("best_static_ops_per_sec", best->total_ops_per_sec());
+    j.kv("worst_static", config_name(worst->cfg));
+    j.kv("worst_static_ops_per_sec", worst->total_ops_per_sec());
+    j.kv("vs_best",
+         best->total_ops_per_sec() > 0 ? a / best->total_ops_per_sec() : 0.0);
+    j.kv("vs_worst", worst->total_ops_per_sec() > 0
+                         ? a / worst->total_ops_per_sec()
+                         : 0.0);
+  }
+  j.end_obj();
+  j.end_obj();
+
+  if (!j.write_file(path)) {
+    std::fprintf(stderr, "abl_adapt: cannot write %s\n", path);
+    g_check_failures.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* out = "BENCH_adapt.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0)
+      smoke = true;
+    else
+      out = argv[i];
+  }
+  const double secs = env_double("ABL_ADAPT_SECS", smoke ? 0.05 : 1.0);
+  const int threads = static_cast<int>(
+      env_long("ABL_ADAPT_THREADS", smoke ? 2 : 8));
+
+  std::vector<CellResult> cells;
+  for (Config cfg : {Config::StaticHtm, Config::StaticStm, Config::StaticLock,
+                     Config::Adaptive})
+    cells.push_back(run_cell(cfg, threads, secs));
+
+  std::printf("%-12s %12s %12s | per-phase ops/s:", "config", "total/s",
+              "final-mode");
+  for (Phase p : kPhases) std::printf(" %10s", phase_name(p));
+  std::printf("\n");
+  for (const CellResult& c : cells) {
+    std::printf("%-12s %12.0f %12s |", config_name(c.cfg),
+                c.total_ops_per_sec(), c.final_mode.c_str());
+    for (const PhaseResult& p : c.phases)
+      std::printf(" %10.0f", p.ops_per_sec());
+    std::printf("\n");
+  }
+  const CellResult& a = cells.back();
+  std::printf("controller: evals=%llu plan_changes=%llu degraded=%llu/%llu "
+              "mode_switches=%llu flaps=%llu forced_serial=%llu\n",
+              static_cast<unsigned long long>(a.ctl.evals),
+              static_cast<unsigned long long>(a.ctl.plan_changes),
+              static_cast<unsigned long long>(a.ctl.degraded_enters),
+              static_cast<unsigned long long>(a.ctl.degraded_exits),
+              static_cast<unsigned long long>(a.ctl.mode_switches),
+              static_cast<unsigned long long>(a.ctl.flaps),
+              static_cast<unsigned long long>(a.stats.ctl_forced_serial));
+
+  emit_json(out, cells, secs, threads);
+  std::printf("wrote %s\n", out);
+
+  if (!smoke) {
+    // Full-run acceptance (real multicore): the controller must match the
+    // best single static choice and beat the worst decisively.
+    const CellResult* best = nullptr;
+    const CellResult* worst = nullptr;
+    for (const CellResult& c : cells) {
+      if (c.cfg == Config::Adaptive) continue;
+      if (!best || c.total_ops_per_sec() > best->total_ops_per_sec())
+        best = &c;
+      if (!worst || c.total_ops_per_sec() < worst->total_ops_per_sec())
+        worst = &c;
+    }
+    const double vs_best = best && best->total_ops_per_sec() > 0
+                               ? a.total_ops_per_sec() /
+                                     best->total_ops_per_sec()
+                               : 0.0;
+    const double vs_worst = worst && worst->total_ops_per_sec() > 0
+                                ? a.total_ops_per_sec() /
+                                      worst->total_ops_per_sec()
+                                : 0.0;
+    std::printf("acceptance: adaptive vs best static (%s) %.2fx "
+                "(need >= 1.0), vs worst static (%s) %.2fx (need >= 1.5)\n",
+                best ? config_name(best->cfg) : "?", vs_best,
+                worst ? config_name(worst->cfg) : "?", vs_worst);
+    check(vs_best >= 1.0, "adaptive >= 1.0x best static configuration");
+    check(vs_worst >= 1.5, "adaptive >= 1.5x worst static configuration");
+    check(a.ctl.mode_switches >= 1, "capacity phase forced a mode switch");
+    check(a.ctl.degraded_exits >= 1, "controller recovered from degraded");
+  }
+
+  const auto failures = g_check_failures.load();
+  if (failures) {
+    std::fprintf(stderr, "abl_adapt: %llu check failure(s)\n",
+                 static_cast<unsigned long long>(failures));
+    return 1;
+  }
+  return 0;
+}

@@ -39,8 +39,14 @@ GAUGE_TIME_FIELDS = ["oldest_txn_age_ns", "grace_last_scan_ns",
                      "grace_scan_ns", "serial_hold_ns", "serial_wait_ns",
                      "serial_held_age_ns", "gov_abort_rate"]
 SITE_FIELDS = ["id", "name", "attempts", "commits", "serial_fallbacks",
-               "serial_commits", "htm_retries", "aborts", "aborts_total",
+               "serial_commits", "htm_retries", "drain_waits", "storm_gated",
+               "watchdog_escalations", "aborts", "aborts_total",
                "total_commits"]
+CTL_FIELDS = ["enabled", "state", "mode", "probe_shift", "evals",
+              "plan_changes", "flaps", "degraded_enters", "degraded_exits",
+              "mode_switches", "decisions"]
+CTL_DECISION_FIELDS = ["seq", "window", "site", "kind", "state", "shift",
+                       "detail"]
 SITE_TIME_FIELDS = ["commit_rate", "abort_ratio", "fallback_ratio",
                     "p50_ns", "p99_ns", "p999_ns"]
 
@@ -83,6 +89,21 @@ def check_record_shape(rec, label):
         check(fld in (gauges or {}), f"{label}: gauges missing {fld!r}")
     sites = rec.get("sites")
     check(isinstance(sites, list), f"{label}: missing 'sites'")
+    ctl = rec.get("ctl")
+    check(isinstance(ctl, dict), f"{label}: missing 'ctl'")
+    for fld in CTL_FIELDS:
+        check(fld in (ctl or {}), f"{label}: ctl missing {fld!r}")
+    for d in (ctl or {}).get("decisions", []):
+        for fld in CTL_DECISION_FIELDS:
+            check(fld in d, f"{label}: ctl decision missing {fld!r}")
+    check(ctl is None or ctl.get("state") in
+          ("normal", "degraded", "probing"),
+          f"{label}: ctl state {ctl.get('state') if ctl else None!r}")
+    starved = rec.get("starved_sites")
+    check(isinstance(starved, list), f"{label}: missing 'starved_sites'")
+    for s in starved if isinstance(starved, list) else []:
+        for fld in ("id", "name", "watchdog_escalations", "storm_gated"):
+            check(fld in s, f"{label}: starved_sites entry missing {fld!r}")
     if not det:
         for fld in ("t_start_ns", "t_end_ns", "duration_ns"):
             check(fld in rec, f"{label}: missing {fld!r}")
@@ -148,6 +169,14 @@ def check_stream(windows):
                       f"{label}: t_start_ns != previous t_end_ns "
                       "(intervals must abut)")
             prev_end = rec.get("t_end_ns")
+
+
+def check_ctl_stream(windows):
+    """Controller decisions stream each exactly once, in sequence order."""
+    seqs = [d.get("seq") for w in windows
+            for d in w.get("ctl", {}).get("decisions", [])]
+    check(seqs == sorted(seqs), "ctl decision seqs out of order")
+    check(len(seqs) == len(set(seqs)), "ctl decision seq streamed twice")
 
 
 def site_conservation(windows, obs_doc):
@@ -225,6 +254,7 @@ def main():
             check(False, f"{obs_path} was not written")
         if windows:
             site_conservation(windows, obs_doc)
+            check_ctl_stream(windows)
         if os.path.exists(prom_path):
             check_prom(prom_path)
 

@@ -24,7 +24,7 @@ cd "$(dirname "$0")/.."
 
 PRESET=${1:-all}
 CXX=${CXX:-g++}
-TM_SRCS="src/tm/engine.cpp src/tm/registry.cpp src/tm/runtime.cpp src/tm/audit.cpp src/tm/trace.cpp src/tm/fault/fault.cpp src/tm/governor/governor.cpp src/tm/obs/site.cpp src/tm/obs/export.cpp src/tm/obs/metrics.cpp src/tm/obs/sampler.cpp"
+TM_SRCS="src/tm/engine.cpp src/tm/registry.cpp src/tm/runtime.cpp src/tm/audit.cpp src/tm/trace.cpp src/tm/fault/fault.cpp src/tm/governor/governor.cpp src/tm/obs/site.cpp src/tm/obs/export.cpp src/tm/obs/metrics.cpp src/tm/obs/sampler.cpp src/tm/control/control.cpp"
 LIBS="-lgtest -lgtest_main -pthread"
 OUT=$(mktemp -d)
 trap 'rm -rf "$OUT"' EXIT
@@ -36,7 +36,7 @@ suite_extra() {
     *) echo "" ;;
   esac
 }
-SUITES="tm_core_test tm_privatization_test dstruct_test tm_engine_edge_test quiesce_stress_test sync_stress_test obs_test metrics_test site_overflow_test fault_injection_test governor_test tm_stripe_test tm_protocol_test"
+SUITES="tm_core_test tm_privatization_test dstruct_test tm_engine_edge_test quiesce_stress_test sync_stress_test obs_test metrics_test site_overflow_test fault_injection_test governor_test control_test tm_stripe_test tm_protocol_test"
 
 # Seeded fault matrix: rerun the suites most sensitive to the perturbed
 # windows with the env-armed chaos plan, so the sanitizers watch the Dekker
@@ -53,6 +53,17 @@ FAULT_SEED=20260806
 # interleavings out of existence.
 PRIV_SEEDS="1 2 3 4 5"
 PRIV_PLAN="delay@htm_zombie=0.3/20000,yield@htm_zombie=0.3"
+
+# Controller chaos matrix (hard-gating): the phase-shift chaos suite
+# (capacity -> conflict -> spurious fault plans against the live engine)
+# reruns across >= 3 seeds with perturbation parked on the controller's own
+# evaluation tick (delay/yield@ctl_tick), so ASan+TSan watch the plan-word
+# publication, the drained mode switch, and the probe admission counters
+# while evaluations land at stretched, shifted instants. Perturbation-only
+# for the same reason as the privatization plan: injected aborts would
+# change the decision sequence the byte-identity test pins.
+CTL_SEEDS="11 12 13"
+CTL_PLAN="delay@ctl_tick=0.5/20000,yield@ctl_tick=0.3"
 
 run_preset() {
   local name=$1 flags=$2
@@ -72,6 +83,11 @@ run_preset() {
     echo "== tm_privatization_test ($name, htm_zombie plan, seed $seed)"
     TLE_FAULT_SEED=$((FAULT_SEED + seed)) TLE_FAULT_PLAN="$PRIV_PLAN" \
       "$OUT/tm_privatization_test-$name"
+  done
+  for seed in $CTL_SEEDS; do
+    echo "== control_test ($name, ctl_tick plan, seed $seed)"
+    TLE_FAULT_SEED=$((FAULT_SEED + seed)) TLE_FAULT_PLAN="$CTL_PLAN" \
+      "$OUT/control_test-$name" --gtest_filter='ControlChaos.*:ControlDegraded.*'
   done
 }
 

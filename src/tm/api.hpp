@@ -30,6 +30,12 @@
 #include "tm/obs/site.hpp"
 #include "tm/txdesc.hpp"
 
+namespace tle::ctl {
+// Adaptive-controller transaction-path consult (control/control.hpp); forward
+// declared so the hot-path header does not pull the metrics machinery in.
+void apply(TxDesc& tx) noexcept;
+}  // namespace tle::ctl
+
 namespace tle {
 
 // ---------------------------------------------------------------------------
@@ -306,12 +312,17 @@ void run_transaction(F&& body, std::uint16_t site = 0) {
     tx.stats->bump(tx.stats->fault_forced_serial);
   }
   const RuntimeConfig& cfg = config();
-  if (cfg.mode == ExecMode::Lock) {
+  if (live_mode() == ExecMode::Lock) {
     // atomic_do without a mutex in Lock mode: fall back to serial execution
     // (the TMTS "synchronized" semantics).
     run_serial(tx, body);
     return;
   }
+  // Adaptive-controller plan consult: one relaxed plan-table read per
+  // logical transaction. May force serial (degraded mode, serial-planned
+  // sites outside their probe fraction), boost the retry budget, or stamp
+  // per-cause dispositions that resolve below any TxnAttrs the caller set.
+  if (cfg.controller) ctl::apply(tx);
 
   // Storm tokens outlive individual attempts (a retrying transaction keeps
   // its admission); the guard returns a held token on every exit — commit,
@@ -353,8 +364,8 @@ void run_transaction(F&& body, std::uint16_t site = 0) {
     } else {
       // Cause-blind legacy policy, kept as the ablation baseline the
       // lemming-effect benchmark measures against.
-      int limit = cfg.mode == ExecMode::Htm ? cfg.htm_max_retries
-                                            : cfg.stm_max_retries;
+      int limit = live_mode() == ExecMode::Htm ? cfg.htm_max_retries
+                                               : cfg.stm_max_retries;
       if (tx.attr_retries >= 0) limit = tx.attr_retries;  // -1 = inherit
       if (limit < 0) limit = 0;  // validate_config() rejects negatives
       serial = tx.last_abort == AbortCause::Unsafe ||
@@ -364,7 +375,7 @@ void run_transaction(F&& body, std::uint16_t site = 0) {
     if (serial) {
       tx.force_serial = true;
       note_serial_fallback(tx);
-    } else if (cfg.mode == ExecMode::Htm) {
+    } else if (live_mode() == ExecMode::Htm) {
       // An HTM "retry" is an abort followed by another hardware attempt;
       // the abort that sends us serial is a fallback, not a retry.
       tx.stats->bump(tx.stats->htm_retries);
@@ -536,7 +547,7 @@ void run_lock_section(elidable_mutex& m, F&& body, std::uint16_t site = 0) {
 /// ExecMode::Lock acquires `m`; every other mode elides it.
 template <typename F>
 void critical(elidable_mutex& m, F&& body) {
-  if (config().mode == ExecMode::Lock) {
+  if (live_mode() == ExecMode::Lock) {
     detail::run_lock_section(m, std::forward<F>(body));
     return;
   }
@@ -551,7 +562,7 @@ void critical(elidable_mutex& m, F&& body) {
 ///   tle::critical(m, TLE_TX_SITE("videnc/claim_row"), [&](auto& tx) ...);
 template <typename F>
 void critical(elidable_mutex& m, const obs::TxSite& site, F&& body) {
-  if (config().mode == ExecMode::Lock) {
+  if (live_mode() == ExecMode::Lock) {
     detail::run_lock_section(m, std::forward<F>(body), site.id);
     return;
   }
@@ -563,7 +574,7 @@ void critical(elidable_mutex& m, const obs::TxSite& site, F&& body) {
 /// critical() with per-section retry tuning.
 template <typename F>
 void critical(elidable_mutex& m, const TxnAttrs& attrs, F&& body) {
-  if (config().mode == ExecMode::Lock) {
+  if (live_mode() == ExecMode::Lock) {
     detail::run_lock_section(m, std::forward<F>(body));
     return;
   }
@@ -576,7 +587,7 @@ void critical(elidable_mutex& m, const TxnAttrs& attrs, F&& body) {
 template <typename F>
 void critical(elidable_mutex& m, const obs::TxSite& site, const TxnAttrs& attrs,
               F&& body) {
-  if (config().mode == ExecMode::Lock) {
+  if (live_mode() == ExecMode::Lock) {
     detail::run_lock_section(m, std::forward<F>(body), site.id);
     return;
   }

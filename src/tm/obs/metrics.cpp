@@ -11,6 +11,7 @@
 #include <memory>
 #include <mutex>
 
+#include "tm/control/control.hpp"
 #include "tm/governor/governor.hpp"
 #include "tm/obs/export.hpp"
 #include "tm/registry.hpp"
@@ -58,6 +59,9 @@ struct SiteSnap {
   std::uint64_t serial_fallbacks = 0;
   std::uint64_t serial_commits = 0;
   std::uint64_t htm_retries = 0;
+  std::uint64_t drain_waits = 0;
+  std::uint64_t storm_gated = 0;
+  std::uint64_t watchdog_escalations = 0;
   std::uint64_t aborts[kAbortCauseCount] = {};
   std::uint64_t hist[LatencyHist::kBuckets] = {};
 };
@@ -82,6 +86,9 @@ void collect_sites(SiteSnap* out) {
       o.serial_fallbacks += ld(c.serial_fallbacks);
       o.serial_commits += ld(c.serial_commits);
       o.htm_retries += ld(c.htm_retries);
+      o.drain_waits += ld(c.drain_waits);
+      o.storm_gated += ld(c.storm_gated);
+      o.watchdog_escalations += ld(c.watchdog_escalations);
       for (int a = 0; a < kAbortCauseCount; ++a) o.aborts[a] += ld(c.aborts[a]);
       for (int b = 0; b < LatencyHist::kBuckets; ++b)
         o.hist[b] += ld(c.attempt_ns.buckets[b]);
@@ -100,6 +107,7 @@ struct State {
   std::uint64_t prev_grace_scan = 0;
   std::uint64_t next_index = 0;
   std::uint64_t last_tick_ns = 0;
+  std::uint64_t ctl_decisions_seen = 0;  ///< decisions_since() cursor
   std::vector<MetricsWindow> ring;
   std::atomic<bool> deterministic{false};
 };
@@ -205,14 +213,21 @@ MetricsWindow tick_locked(State& st, bool final_flush) {
     sw.serial_fallbacks = delta(c.serial_fallbacks, p.serial_fallbacks);
     sw.serial_commits = delta(c.serial_commits, p.serial_commits);
     sw.htm_retries = delta(c.htm_retries, p.htm_retries);
+    sw.drain_waits = delta(c.drain_waits, p.drain_waits);
+    sw.storm_gated = delta(c.storm_gated, p.storm_gated);
+    sw.watchdog_escalations =
+        delta(c.watchdog_escalations, p.watchdog_escalations);
     for (int a = 0; a < kAbortCauseCount; ++a)
       sw.aborts[a] = delta(c.aborts[a], p.aborts[a]);
     const std::uint64_t activity = sw.attempts + sw.commits +
                                    sw.serial_commits + sw.serial_fallbacks +
-                                   sw.aborts_total();
+                                   sw.aborts_total() + sw.storm_gated +
+                                   sw.watchdog_escalations;
     if (!activity) continue;
     sw.name = id == 0 ? "(unnamed)" : site_info(id).name;
     sw.total_commits = c.commits;
+    sw.total_watchdog = c.watchdog_escalations;
+    sw.total_gated = c.storm_gated;
     for (int b = 0; b < LatencyHist::kBuckets; ++b)
       sw.attempt_hist[b] = delta(c.hist[b], p.hist[b]);
     if (!det) {
@@ -229,6 +244,36 @@ MetricsWindow tick_locked(State& st, bool final_flush) {
   w.gauges.watchdog_escalations =
       delta(cur.gov_watchdog_escalations, prev.gov_watchdog_escalations);
   st.prev_stats = cur;
+
+  // Controller snapshot + the decisions landed since the previous tick.
+  // Lock order is st.mu -> ctl's mutex here; the controller thread releases
+  // st.mu (metrics_history copy) before on_window takes its own lock, so
+  // the order never inverts.
+  const ctl::Status cs = ctl::status();
+  w.ctl.enabled = cs.enabled;
+  w.ctl.state = ctl::to_string(cs.state);
+  w.ctl.mode = to_string(live_mode());
+  w.ctl.probe_shift = cs.probe_shift;
+  w.ctl.evals = cs.evals;
+  w.ctl.plan_changes = cs.plan_changes;
+  w.ctl.flaps = cs.flaps;
+  w.ctl.degraded_enters = cs.degraded_enters;
+  w.ctl.degraded_exits = cs.degraded_exits;
+  w.ctl.mode_switches = cs.mode_switches;
+  if (st.ctl_decisions_seen > cs.decisions)
+    st.ctl_decisions_seen = 0;  // ctl::reset() restarted the sequence
+  for (const ctl::Decision& d : ctl::decisions_since(st.ctl_decisions_seen)) {
+    CtlDecisionLite lite;
+    lite.seq = d.seq;
+    lite.window = d.window;
+    lite.site = d.site;
+    lite.kind = ctl::to_string(d.kind);
+    lite.state = ctl::to_string(d.state);
+    lite.shift = d.shift;
+    lite.detail = d.detail;
+    w.ctl.decisions.push_back(lite);
+    st.ctl_decisions_seen = d.seq;
+  }
 
   const std::size_t depth = std::max(1u, config().metrics_history);
   st.ring.push_back(w);
@@ -362,6 +407,62 @@ std::string metrics_json(const MetricsWindow& w) {
                (unsigned long long)g.serial_held_age_ns, g.gov_abort_rate);
   out += "},";
 
+  // Controller block: always present (enabled:false when the controller is
+  // off) so stream checkers can require it unconditionally. Deterministic by
+  // construction — decisions are pure functions of counter deltas.
+  const CtlSnapshot& c = w.ctl;
+  append_fmt(out,
+             "\"ctl\":{\"enabled\":%s,\"state\":\"%s\",\"mode\":\"%s\","
+             "\"probe_shift\":%u,\"evals\":%llu,\"plan_changes\":%llu,"
+             "\"flaps\":%llu,\"degraded_enters\":%llu,"
+             "\"degraded_exits\":%llu,\"mode_switches\":%llu,\"decisions\":[",
+             c.enabled ? "true" : "false", c.state, c.mode, c.probe_shift,
+             (unsigned long long)c.evals, (unsigned long long)c.plan_changes,
+             (unsigned long long)c.flaps,
+             (unsigned long long)c.degraded_enters,
+             (unsigned long long)c.degraded_exits,
+             (unsigned long long)c.mode_switches);
+  for (std::size_t i = 0; i < c.decisions.size(); ++i) {
+    const CtlDecisionLite& d = c.decisions[i];
+    if (i) out += ',';
+    append_fmt(out,
+               "{\"seq\":%llu,\"window\":%llu,\"site\":%d,\"kind\":\"%s\","
+               "\"state\":\"%s\",\"shift\":%u,\"detail\":%u}",
+               (unsigned long long)d.seq, (unsigned long long)d.window,
+               (int)d.site, d.kind, d.state, (unsigned)d.shift,
+               (unsigned)d.detail);
+  }
+  out += "]},";
+
+  // Ranked starvation surface: sites that have EVER hit the watchdog or the
+  // storm gate (cumulative counters), capped at the 8 worst.
+  out += "\"starved_sites\":[";
+  {
+    std::vector<const SiteWindow*> starved;
+    for (const SiteWindow& s : w.sites)
+      if (s.total_watchdog || s.total_gated) starved.push_back(&s);
+    std::sort(starved.begin(), starved.end(),
+              [](const SiteWindow* a, const SiteWindow* b) {
+                if (a->total_watchdog != b->total_watchdog)
+                  return a->total_watchdog > b->total_watchdog;
+                if (a->total_gated != b->total_gated)
+                  return a->total_gated > b->total_gated;
+                return a->id < b->id;
+              });
+    if (starved.size() > 8) starved.resize(8);
+    for (std::size_t i = 0; i < starved.size(); ++i) {
+      const SiteWindow& s = *starved[i];
+      if (i) out += ',';
+      append_fmt(out,
+                 "{\"id\":%d,\"name\":\"%s\",\"watchdog_total\":%llu,"
+                 "\"gated_total\":%llu}",
+                 s.id, json_escape(s.name).c_str(),
+                 (unsigned long long)s.total_watchdog,
+                 (unsigned long long)s.total_gated);
+    }
+  }
+  out += "],";
+
   out += "\"sites\":[";
   for (std::size_t i = 0; i < w.sites.size(); ++i) {
     const SiteWindow& s = w.sites[i];
@@ -369,12 +470,17 @@ std::string metrics_json(const MetricsWindow& w) {
     append_fmt(out,
                "{\"id\":%d,\"name\":\"%s\",\"attempts\":%llu,"
                "\"commits\":%llu,\"serial_fallbacks\":%llu,"
-               "\"serial_commits\":%llu,\"htm_retries\":%llu",
+               "\"serial_commits\":%llu,\"htm_retries\":%llu,"
+               "\"drain_waits\":%llu,\"storm_gated\":%llu,"
+               "\"watchdog_escalations\":%llu",
                s.id, json_escape(s.name).c_str(),
                (unsigned long long)s.attempts, (unsigned long long)s.commits,
                (unsigned long long)s.serial_fallbacks,
                (unsigned long long)s.serial_commits,
-               (unsigned long long)s.htm_retries);
+               (unsigned long long)s.htm_retries,
+               (unsigned long long)s.drain_waits,
+               (unsigned long long)s.storm_gated,
+               (unsigned long long)s.watchdog_escalations);
     out += ",\"aborts\":{";
     bool first = true;
     for (int a = 1; a < kAbortCauseCount; ++a) {
@@ -437,6 +543,27 @@ std::string prometheus_text() {
           snap.priv_immediate_frees);
   counter("tle_priv_limbo_routed_total",
           "tm_private_free blocks parked in limbo.", snap.priv_limbo_routed);
+  counter("tle_ctl_evals_total", "Adaptive-controller evaluation passes.",
+          snap.ctl_evals);
+  counter("tle_ctl_plan_changes_total",
+          "Controller per-site plan changes applied.", snap.ctl_plan_changes);
+  counter("tle_ctl_forced_serial_total",
+          "Attempts routed serial by a controller plan.",
+          snap.ctl_forced_serial);
+  counter("tle_ctl_probe_attempts_total",
+          "Recovery-probe attempts re-admitted to speculation.",
+          snap.ctl_probe_attempts);
+  counter("tle_ctl_degraded_enters_total",
+          "Controller degraded-mode entries.", snap.ctl_degraded_enters);
+  counter("tle_ctl_degraded_exits_total",
+          "Controller degraded-mode full recoveries.",
+          snap.ctl_degraded_exits);
+  counter("tle_ctl_flaps_total",
+          "Probing intervals that re-tripped back to degraded.",
+          snap.ctl_flaps);
+  counter("tle_ctl_mode_switches_total",
+          "Drained global exec-mode switches by the controller.",
+          snap.ctl_mode_switches);
   out +=
       "# HELP tle_aborts_total Speculative aborts by cause.\n"
       "# TYPE tle_aborts_total counter\n";
@@ -492,6 +619,15 @@ std::string prometheus_text() {
              "# HELP tle_gov_abort_rate Governor abort-rate estimate.\n"
              "# TYPE tle_gov_abort_rate gauge\ntle_gov_abort_rate %.6f\n",
              gov::abort_rate_estimate());
+  const ctl::Status cs = ctl::status();
+  gauge("tle_ctl_enabled", "1 while the adaptive controller is enabled.",
+        cs.enabled ? 1 : 0);
+  gauge("tle_ctl_state",
+        "Controller state (0 normal, 1 degraded, 2 probing).",
+        static_cast<unsigned long long>(cs.state));
+  gauge("tle_ctl_probe_shift",
+        "Global recovery-probe shift (admitting 1/2^shift of attempts).",
+        cs.probe_shift);
   return out;
 }
 

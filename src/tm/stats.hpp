@@ -78,6 +78,15 @@ namespace tle {
   X(gov_storm_gated, "speculative attempts held at the storm gate")         \
   X(gov_watchdog_escalations, "starving transactions escalated to serial")  \
   X(gov_stall_events, "quiesce/drain stalls exceeding watchdog_stall_ns")    \
+  X(ctl_evals, "adaptive-controller evaluation passes")                     \
+  X(ctl_plan_changes, "controller per-site plan changes applied")           \
+  X(ctl_forced_serial, "attempts routed serial by a controller plan")       \
+  X(ctl_boost_applied, "attempts granted a controller-boosted retry budget") \
+  X(ctl_probe_attempts, "recovery-probe attempts re-admitted to speculate")  \
+  X(ctl_degraded_enters, "controller degraded-mode entries")                \
+  X(ctl_degraded_exits, "controller degraded-mode full recoveries")         \
+  X(ctl_mode_switches, "drained global exec-mode switches by the controller") \
+  X(ctl_flaps, "probing intervals that re-tripped back to degraded")        \
   X(obs_site_overflow, "TLE_TX_SITE registrations folded into id 0: full")
 
 /// Number of scalar counters in the X-macro (excludes the abort array).

@@ -415,6 +415,12 @@ struct TxDesc {
   std::uint8_t attr_disp[static_cast<int>(AbortCause::kCount)] = {};
   std::uint64_t txn_start_ns = 0;  ///< watchdog stamp: first abort (or first
                                    ///< gated wait) of this logical txn
+  /// Controller plan applied to this logical transaction (ctl::apply, once
+  /// per top-level section). Resolution order in gov::on_abort: per-section
+  /// TxnAttrs override, then these, then the global defaults. Read only when
+  /// config().controller is set, so stale values after a disable are inert.
+  int ctl_retries = -1;            ///< controller retry budget (-1 = none)
+  std::uint8_t ctl_disp[static_cast<int>(AbortCause::kCount)] = {};
   bool storm_token = false;        ///< holds a storm-gate admission token
   unsigned win_attempts = 0;       ///< storm window: attempts not yet folded
   unsigned win_aborts = 0;         ///< storm window: aborts not yet folded
